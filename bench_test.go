@@ -1,0 +1,277 @@
+package laacad
+
+import (
+	"math/rand"
+	"testing"
+
+	"laacad/internal/core"
+	"laacad/internal/coverage"
+	"laacad/internal/region"
+	"laacad/internal/voronoi"
+	"laacad/internal/wsn"
+)
+
+// Benchmarks: one per paper artifact (DESIGN.md §4) plus the ablations
+// (§5). Each benchmark exercises the code path that regenerates the
+// corresponding table or figure at a representative size, so `go test
+// -bench=.` doubles as a performance regression harness for the whole
+// reproduction pipeline.
+
+func benchSites(n int, seed int64) []Site {
+	rng := rand.New(rand.NewSource(seed))
+	sites := make([]Site, n)
+	for i := range sites {
+		sites[i] = Site{ID: i, Pos: Pt(rng.Float64(), rng.Float64())}
+	}
+	return sites
+}
+
+func benchStart(reg *Region, n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	return PlaceUniform(reg, n, rng)
+}
+
+// BenchmarkFig1KOrderVoronoi builds the 2-order Voronoi diagram of 30 nodes
+// (Fig. 1's structure).
+func BenchmarkFig1KOrderVoronoi(b *testing.B) {
+	reg := UnitSquareKm()
+	sites := benchSites(30, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KOrderVoronoi(sites, 2, reg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2ExpandingRing runs the Algorithm 2 expanding-ring search for
+// the central node of a hex lattice at k=4 (Fig. 2's measurement).
+func BenchmarkFig2ExpandingRing(b *testing.B) {
+	pts := wsn.HexLattice(25, 25, 0.04)
+	bb := geomBBoxOf(pts)
+	reg := RectRegion(bb.Min.X, bb.Min.Y, bb.Max.X, bb.Max.Y)
+	center := wsn.CenterIndex(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := wsn.New(pts, 0.05)
+		probe := core.ExpandingRing(net, reg, center, 4, 64, wsn.RingGeometric, 0)
+		if len(probe.Region) == 0 {
+			b.Fatal("empty region")
+		}
+	}
+}
+
+func geomBBoxOf(pts []Point) BBox {
+	bb := pts[0]
+	_ = bb
+	out := BBox{Min: pts[0], Max: pts[0]}
+	for _, p := range pts {
+		out = out.Expand(p)
+	}
+	return out
+}
+
+// BenchmarkFig5Deployment runs a full corner-start deployment to
+// convergence at a reduced size (Fig. 5's workload).
+func BenchmarkFig5Deployment(b *testing.B) {
+	reg := UnitSquareKm()
+	rng := rand.New(rand.NewSource(3))
+	start := PlaceCorner(reg, 50, 0.1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(2)
+		cfg.Epsilon = 1e-3
+		cfg.MaxRounds = 150
+		if _, err := Deploy(reg, start, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Convergence measures one LAACAD round at the Fig. 6 scale
+// (100 nodes, k=4) — the unit of the convergence trace.
+func BenchmarkFig6Convergence(b *testing.B) {
+	reg := UnitSquareKm()
+	eng, err := NewEngine(reg, benchStart(reg, 100, 4), DefaultConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// BenchmarkFig7LoadSweep runs one cell of the Fig. 7 sweep (N=100, k=2,
+// full deployment plus load computation).
+func BenchmarkFig7LoadSweep(b *testing.B) {
+	reg := UnitSquareKm()
+	start := benchStart(reg, 100, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(2)
+		cfg.Epsilon = 1e-3
+		cfg.MaxRounds = 150
+		res, err := Deploy(reg, start, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = MaxLoad(res.Radii, DiskAreaEnergy{})
+		_ = TotalLoad(res.Radii, DiskAreaEnergy{})
+	}
+}
+
+// BenchmarkTable1MinNode2Coverage measures one LAACAD round at the Table I
+// scale (1000 nodes, k=2, 100×100 m).
+func BenchmarkTable1MinNode2Coverage(b *testing.B) {
+	reg := RectRegion(0, 0, 100, 100)
+	cfg := DefaultConfig(2)
+	cfg.Epsilon = 0.02
+	eng, err := NewEngine(reg, benchStart(reg, 1000, 6), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// BenchmarkTable2LensComparison measures one LAACAD round at the Table II
+// scale (180 nodes, k=6, 100×100 m).
+func BenchmarkTable2LensComparison(b *testing.B) {
+	reg := RectRegion(0, 0, 100, 100)
+	cfg := DefaultConfig(6)
+	cfg.Epsilon = 0.02
+	eng, err := NewEngine(reg, benchStart(reg, 180, 7), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// BenchmarkFig8Obstacles runs a full deployment over the two-obstacle
+// region (Fig. 8's workload) at a reduced size.
+func BenchmarkFig8Obstacles(b *testing.B) {
+	reg := SquareWithTwoObstacles()
+	start := benchStart(reg, 60, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(2)
+		cfg.Epsilon = 1e-3
+		cfg.MaxRounds = 150
+		if _, err := Deploy(reg, start, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStepSize compares rounds-to-converge across step sizes
+// (DESIGN.md ablation).
+func BenchmarkAblationStepSize(b *testing.B) {
+	reg := UnitSquareKm()
+	start := benchStart(reg, 40, 9)
+	for _, alpha := range []float64{0.25, 0.5, 1.0} {
+		b.Run(f64Name(alpha), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig(2)
+				cfg.Alpha = alpha
+				cfg.Epsilon = 1e-3
+				cfg.MaxRounds = 300
+				if _, err := Deploy(reg, start, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func f64Name(v float64) string {
+	switch v {
+	case 0.25:
+		return "alpha=0.25"
+	case 0.5:
+		return "alpha=0.50"
+	default:
+		return "alpha=1.00"
+	}
+}
+
+// BenchmarkAblationLocalizedVsCentralized compares one round of dominating-
+// region computation in both engine modes (50 nodes, k=2).
+func BenchmarkAblationLocalizedVsCentralized(b *testing.B) {
+	reg := UnitSquareKm()
+	start := benchStart(reg, 50, 10)
+	for _, mode := range []Mode{Centralized, Localized} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := DefaultConfig(2)
+			cfg.Mode = mode
+			cfg.Gamma = 0.25
+			eng, err := NewEngine(reg, start, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.DebugRegions()
+			}
+		})
+	}
+}
+
+// BenchmarkKOrderVoronoiAlgorithms compares the direct dominating-region
+// computation against the iterative-refinement diagram at k=3.
+func BenchmarkKOrderVoronoiAlgorithms(b *testing.B) {
+	reg := UnitSquareKm()
+	sites := benchSites(25, 11)
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range sites {
+				voronoi.DominatingRegion(s, sites, 3, reg.Pieces())
+			}
+		}
+	})
+	b.Run("diagram", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := voronoi.KOrderDiagram(sites, 3, reg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWelzl measures the Chebyshev-center primitive on 64 points.
+func BenchmarkWelzl(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	pts := make([]Point, 64)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SmallestEnclosingCircle(pts, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+// BenchmarkCoverageVerify measures grid verification at the scale used by
+// the experiment harness (100 nodes, 100×100 grid).
+func BenchmarkCoverageVerify(b *testing.B) {
+	reg := UnitSquareKm()
+	start := benchStart(reg, 100, 13)
+	radii := make([]float64, len(start))
+	for i := range radii {
+		radii[i] = 0.15
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := coverage.Verify(start, radii, regionPtr(reg), 100)
+		if rep.Samples == 0 {
+			b.Fatal("no samples")
+		}
+	}
+}
+
+func regionPtr(r *Region) *region.Region { return r }

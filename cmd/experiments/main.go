@@ -1,0 +1,77 @@
+// Command experiments regenerates the paper's tables and figures (and the
+// DESIGN.md ablations) from scratch.
+//
+// Usage:
+//
+//	experiments -run all                  # everything, full paper sizes
+//	experiments -run fig6 -quick          # one artifact, reduced sizes
+//	experiments -run table1 -outdir out/  # also write CSV series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"laacad/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		name   = fs.String("run", "all", "experiment to run (or 'all'); one of: "+fmt.Sprint(experiment.Names()))
+		quick  = fs.Bool("quick", false, "reduced workload sizes")
+		seed   = fs.Int64("seed", 1, "random seed")
+		outdir = fs.String("outdir", "", "directory for CSV outputs (optional)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiment.RunConfig{Quick: *quick, Seed: *seed}
+
+	var outs []*experiment.Output
+	if *name == "all" {
+		all, err := experiment.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+		outs = all
+	} else {
+		out, err := experiment.Run(*name, cfg)
+		if err != nil {
+			return err
+		}
+		outs = append(outs, out)
+	}
+
+	failedTotal := 0
+	for _, o := range outs {
+		fmt.Println(o.Summary())
+		failedTotal += len(o.Failed())
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				return err
+			}
+			for fname, content := range o.CSV {
+				path := filepath.Join(*outdir, fname)
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("  wrote %s\n", path)
+			}
+		}
+	}
+	if failedTotal > 0 {
+		return fmt.Errorf("%d shape checks failed", failedTotal)
+	}
+	fmt.Printf("all shape checks passed across %d experiments\n", len(outs))
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOneExperimentQuick(t *testing.T) {
+	if err := run([]string{"-run", "fig1", "-quick"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "ablation-kvor", "-quick", "-outdir", dir}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ablation-kvor.csv"))
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "fig99"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSummary(t *testing.T) {
+	if err := run([]string{"-n", "10", "-k", "2", "-plot=false"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithCellDump(t *testing.T) {
+	if err := run([]string{"-n", "8", "-k", "1", "-cells", "-plot=false"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadK(t *testing.T) {
+	if err := run([]string{"-n", "3", "-k", "5"}); err == nil {
+		t.Error("k > n should error")
+	}
+	if err := run([]string{"-n", "3", "-k", "0"}); err == nil {
+		t.Error("k = 0 should error")
+	}
+}

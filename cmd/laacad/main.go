@@ -1,0 +1,131 @@
+// Command laacad runs a single LAACAD deployment and reports the outcome:
+// final max/min sensing range, convergence rounds, coverage verification and
+// an ASCII rendering of the final node layout.
+//
+// Usage:
+//
+//	laacad -n 100 -k 2 -region square -start corner -alpha 0.5
+//	laacad -n 120 -k 4 -region obstacles2 -mode localized -gamma 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"laacad"
+
+	"laacad/internal/asciiplot"
+	"laacad/internal/snapshot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "laacad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("laacad", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 100, "number of sensor nodes")
+		k        = fs.Int("k", 2, "coverage order k")
+		alpha    = fs.Float64("alpha", 0.5, "motion step size in (0,1]")
+		eps      = fs.Float64("eps", 1e-3, "stopping tolerance")
+		rounds   = fs.Int("rounds", 300, "maximum rounds")
+		seed     = fs.Int64("seed", 1, "random seed")
+		mode     = fs.String("mode", "centralized", "engine mode: centralized | localized")
+		gamma    = fs.Float64("gamma", 0.2, "transmission range (localized mode)")
+		regName  = fs.String("region", "square", "region: square | lshape | cross | obstacle1 | obstacles2")
+		start    = fs.String("start", "uniform", "initial placement: uniform | corner")
+		gridRes  = fs.Int("grid", 80, "coverage verification grid resolution")
+		showPlot = fs.Bool("plot", true, "render final layout as ASCII")
+		savePath = fs.String("save", "", "write the final deployment as a JSON snapshot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg, err := pickRegion(*regName)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var initial []laacad.Point
+	switch *start {
+	case "uniform":
+		initial = laacad.PlaceUniform(reg, *n, rng)
+	case "corner":
+		initial = laacad.PlaceCorner(reg, *n, 0.1, rng)
+	default:
+		return fmt.Errorf("unknown start placement %q", *start)
+	}
+
+	cfg := laacad.DefaultConfig(*k)
+	cfg.Alpha = *alpha
+	cfg.Epsilon = *eps
+	cfg.MaxRounds = *rounds
+	cfg.Seed = *seed
+	cfg.Gamma = *gamma
+	switch *mode {
+	case "centralized":
+		cfg.Mode = laacad.Centralized
+	case "localized":
+		cfg.Mode = laacad.Localized
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	res, err := laacad.Deploy(reg, initial, cfg)
+	if err != nil {
+		return err
+	}
+	rep := laacad.VerifyCoverage(res.Positions, res.Radii, reg, *gridRes)
+
+	fmt.Printf("LAACAD deployment: n=%d k=%d mode=%s region=%s\n", *n, *k, *mode, *regName)
+	fmt.Printf("  rounds:     %d (converged=%v)\n", res.Rounds, res.Converged)
+	fmt.Printf("  R* (max r): %.6g\n", res.MaxRadius())
+	fmt.Printf("  min r:      %.6g\n", res.MinRadius())
+	fmt.Printf("  max load:   %.6g   total load: %.6g   (E=πr²)\n",
+		laacad.MaxLoad(res.Radii, laacad.DiskAreaEnergy{}),
+		laacad.TotalLoad(res.Radii, laacad.DiskAreaEnergy{}))
+	fmt.Printf("  coverage:   min depth %d over %d samples → %d-covered=%v\n",
+		rep.MinDepth, rep.Samples, *k, rep.KCovered(*k))
+	if cfg.Mode == laacad.Localized {
+		fmt.Printf("  messages:   %d\n", res.Messages)
+	}
+	if *showPlot {
+		fmt.Println("\nFinal layout:")
+		fmt.Print(asciiplot.Scatter(reg.BBox(), 64, 24, asciiplot.Layer{Points: res.Positions, Mark: 'o'}))
+	}
+	if *savePath != "" {
+		snap, err := snapshot.New(*k, *seed, res.Rounds, res.Converged, res.Positions, res.Radii)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteFile(*savePath); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot written to %s\n", *savePath)
+	}
+	return nil
+}
+
+func pickRegion(name string) (*laacad.Region, error) {
+	switch name {
+	case "square":
+		return laacad.UnitSquareKm(), nil
+	case "lshape":
+		return laacad.LShapeRegion(), nil
+	case "cross":
+		return laacad.CrossRegion(), nil
+	case "obstacle1":
+		return laacad.SquareWithCircularObstacle(laacad.Pt(0.5, 0.5), 0.15), nil
+	case "obstacles2":
+		return laacad.SquareWithTwoObstacles(), nil
+	default:
+		return nil, fmt.Errorf("unknown region %q", name)
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSmallDeployment(t *testing.T) {
+	err := run([]string{
+		"-n", "12", "-k", "1", "-rounds", "60", "-eps", "0.003",
+		"-region", "square", "-start", "uniform", "-grid", "30", "-plot=false",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunLocalizedMode(t *testing.T) {
+	err := run([]string{
+		"-n", "12", "-k", "1", "-rounds", "40", "-eps", "0.005",
+		"-mode", "localized", "-gamma", "0.35", "-grid", "20", "-plot=false",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCornerStartWithPlot(t *testing.T) {
+	err := run([]string{
+		"-n", "10", "-k", "1", "-rounds", "40", "-eps", "0.005",
+		"-start", "corner", "-grid", "20",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-region", "mars"},
+		{"-start", "sideways"},
+		{"-mode", "psychic"},
+		{"-k", "0"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestPickRegion(t *testing.T) {
+	for _, name := range []string{"square", "lshape", "cross", "obstacle1", "obstacles2"} {
+		reg, err := pickRegion(name)
+		if err != nil || reg == nil {
+			t.Errorf("pickRegion(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := pickRegion("nope"); err == nil {
+		t.Error("unknown region should error")
+	}
+}
+
+func TestRunSavesSnapshot(t *testing.T) {
+	path := t.TempDir() + "/deploy.json"
+	err := run([]string{
+		"-n", "8", "-k", "1", "-rounds", "30", "-eps", "0.005",
+		"-grid", "20", "-plot=false", "-save", path,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("snapshot not written: %v", err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package asciiplot renders deployments, convergence curves and result
+// tables as plain text. Go has no standard plotting stack, so the paper's
+// figures are reproduced as deterministic data series plus these ASCII
+// renderings (experiment runners also emit CSV for external plotting).
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"laacad/internal/geom"
+)
+
+// Layer is one set of points drawn with a common mark.
+type Layer struct {
+	Points []geom.Point
+	Mark   rune
+}
+
+// Scatter renders point layers into a width×height character grid spanning
+// bbox. Later layers overdraw earlier ones. Points outside bbox are skipped.
+func Scatter(bbox geom.BBox, width, height int, layers ...Layer) string {
+	if width < 2 {
+		width = 2
+	}
+	if height < 2 {
+		height = 2
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	w, h := bbox.Width(), bbox.Height()
+	if w <= 0 || h <= 0 {
+		return ""
+	}
+	for _, layer := range layers {
+		for _, p := range layer.Points {
+			if !bbox.Contains(p) {
+				continue
+			}
+			x := int((p.X - bbox.Min.X) / w * float64(width-1))
+			// Rows are top-down; y axis points up.
+			y := height - 1 - int((p.Y-bbox.Min.Y)/h*float64(height-1))
+			grid[clampInt(y, 0, height-1)][clampInt(x, 0, width-1)] = layer.Mark
+		}
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	return b.String()
+}
+
+// Series is one named curve for LineChart.
+type Series struct {
+	Name string
+	Ys   []float64
+	Mark rune
+}
+
+// LineChart renders the series against their index (x = sample number) into
+// a width×height plot with a y-axis scale line above and below.
+func LineChart(width, height int, series ...Series) string {
+	if width < 4 {
+		width = 4
+	}
+	if height < 3 {
+		height = 3
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, y := range s.Ys {
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+		if len(s.Ys) > maxLen {
+			maxLen = len(s.Ys)
+		}
+	}
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		return "(no data)\n"
+	}
+	if hi-lo < 1e-12 {
+		hi = lo + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for i, y := range s.Ys {
+			x := 0
+			if maxLen > 1 {
+				x = i * (width - 1) / (maxLen - 1)
+			}
+			ry := height - 1 - int((y-lo)/(hi-lo)*float64(height-1))
+			grid[clampInt(ry, 0, height-1)][clampInt(x, 0, width-1)] = s.Mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "y_max = %.4g\n", hi)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "y_min = %.4g   (x: 0..%d)\n", lo, maxLen-1)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %c = %s\n", s.Mark, s.Name)
+	}
+	return b.String()
+}
+
+// Table formats rows under headers with per-column alignment.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i >= len(widths) {
+				break
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			if i < len(widths)-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders rows (first row = header) as comma-separated values. Cells
+// containing commas or quotes are quoted.
+func CSV(rows [][]string) string {
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(cell, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,102 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+
+	"laacad/internal/geom"
+)
+
+func TestScatterBasic(t *testing.T) {
+	bb := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+	out := Scatter(bb, 10, 5, Layer{Points: []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}, Mark: 'o'})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // border + 5 rows + border
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Bottom-left point appears in last content row, first column.
+	if !strings.Contains(lines[5], "o") {
+		t.Errorf("bottom row missing mark:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "o") {
+		t.Errorf("top row missing mark:\n%s", out)
+	}
+	if strings.Count(out, "o") != 2 {
+		t.Errorf("mark count = %d:\n%s", strings.Count(out, "o"), out)
+	}
+}
+
+func TestScatterSkipsOutside(t *testing.T) {
+	bb := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+	out := Scatter(bb, 8, 4, Layer{Points: []geom.Point{geom.Pt(5, 5)}, Mark: 'x'})
+	if strings.Contains(out, "x") {
+		t.Error("outside point should be skipped")
+	}
+}
+
+func TestScatterLayerOverdraw(t *testing.T) {
+	bb := geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}
+	p := []geom.Point{geom.Pt(0.5, 0.5)}
+	out := Scatter(bb, 8, 4,
+		Layer{Points: p, Mark: 'a'},
+		Layer{Points: p, Mark: 'b'},
+	)
+	if strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("later layer should overdraw:\n%s", out)
+	}
+}
+
+func TestScatterDegenerateBBox(t *testing.T) {
+	if out := Scatter(geom.BBox{}, 8, 4); out != "" {
+		t.Errorf("degenerate bbox should give empty output, got %q", out)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	out := LineChart(20, 6, Series{Name: "max", Ys: []float64{5, 4, 3, 2, 1}, Mark: '*'})
+	if !strings.Contains(out, "y_max = 5") || !strings.Contains(out, "y_min = 1") {
+		t.Errorf("missing scale:\n%s", out)
+	}
+	if !strings.Contains(out, "* = max") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if strings.Count(out, "*") < 5 { // 5 points + legend
+		t.Errorf("marks missing:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	if out := LineChart(10, 4); out != "(no data)\n" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	out := LineChart(10, 4, Series{Name: "c", Ys: []float64{2, 2, 2}, Mark: '#'})
+	if !strings.Contains(out, "#") {
+		t.Errorf("constant series should still render:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"N", "R*"}, [][]string{{"1000", "3.035"}, {"1600", "2.357"}})
+	if !strings.Contains(out, "N") || !strings.Contains(out, "1000") {
+		t.Errorf("table content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table lines = %d:\n%s", len(lines), out)
+	}
+	// Separator row present.
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := CSV([][]string{{"a", "b"}, {"1", `x,"y`}})
+	want := "a,b\n1,\"x,\"\"y\"\n"
+	if out != want {
+		t.Errorf("got %q, want %q", out, want)
+	}
+}

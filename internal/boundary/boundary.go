@@ -1,0 +1,133 @@
+// Package boundary provides network-boundary detection for LAACAD.
+//
+// The paper delegates boundary detection to the UNFOLD service [29]; the
+// deployment algorithm consumes only a single bit per node ("am I on the
+// boundary of the network's coverage"). We provide two detectors with that
+// contract:
+//
+//   - AngularGap: the standard localized heuristic — a node is a boundary
+//     node if the directions to its one-hop neighbors leave an angular gap
+//     larger than a threshold. It uses only local ranging/bearing
+//     information, matching the localized spirit of the paper.
+//
+//   - Hull: a centralized geometric oracle — a node is a boundary node if it
+//     lies within a tolerance of the convex hull of all node positions. It
+//     exists to validate AngularGap in tests and for centralized runs.
+package boundary
+
+import (
+	"math"
+	"sort"
+
+	"laacad/internal/geom"
+	"laacad/internal/wsn"
+)
+
+// Detector reports which nodes currently lie on the network boundary.
+type Detector interface {
+	// Boundary returns a boolean per node: true if the node is on the
+	// network's coverage boundary.
+	Boundary(net *wsn.Network) []bool
+}
+
+// AngularGap is a localized boundary detector. A node with fewer than three
+// one-hop neighbors is always a boundary node; otherwise the node sorts the
+// bearings of its neighbors and reports boundary if the largest gap between
+// consecutive bearings exceeds Threshold radians.
+type AngularGap struct {
+	// Threshold is the angular-gap limit in radians. Zero means the default
+	// of 2π/3, which classifies hexagonal-lattice interiors as interior.
+	Threshold float64
+}
+
+// Boundary implements Detector.
+func (d AngularGap) Boundary(net *wsn.Network) []bool {
+	thr := d.Threshold
+	if thr == 0 {
+		thr = 2 * math.Pi / 3
+	}
+	out := make([]bool, net.Len())
+	for i := 0; i < net.Len(); i++ {
+		out[i] = d.isBoundary(net, i, thr)
+	}
+	return out
+}
+
+func (d AngularGap) isBoundary(net *wsn.Network, i int, thr float64) bool {
+	nbrs := net.OneHop(i)
+	if len(nbrs) < 3 {
+		return true
+	}
+	p := net.Position(i)
+	angles := make([]float64, 0, len(nbrs))
+	for _, j := range nbrs {
+		q := net.Position(j)
+		if q.Dist2(p) < geom.Eps*geom.Eps {
+			continue // coincident neighbor has no bearing
+		}
+		angles = append(angles, q.Sub(p).Angle())
+	}
+	if len(angles) < 3 {
+		return true
+	}
+	sort.Float64s(angles)
+	maxGap := 2*math.Pi - (angles[len(angles)-1] - angles[0]) // wrap-around gap
+	for i := 1; i < len(angles); i++ {
+		if g := angles[i] - angles[i-1]; g > maxGap {
+			maxGap = g
+		}
+	}
+	return maxGap > thr
+}
+
+// Hull is a centralized boundary oracle: nodes within Tol of the convex hull
+// of all positions are boundary nodes. A zero Tol uses γ/2.
+type Hull struct {
+	Tol float64
+}
+
+// Boundary implements Detector.
+func (d Hull) Boundary(net *wsn.Network) []bool {
+	tol := d.Tol
+	if tol == 0 {
+		tol = net.Gamma() / 2
+	}
+	out := make([]bool, net.Len())
+	hull := geom.ConvexHull(net.Positions())
+	if len(hull) < 3 {
+		for i := range out {
+			out[i] = true
+		}
+		return out
+	}
+	for i := 0; i < net.Len(); i++ {
+		out[i] = distToPolyBoundary(net.Position(i), hull) <= tol
+	}
+	return out
+}
+
+func distToPolyBoundary(p geom.Point, poly geom.Polygon) float64 {
+	best := math.Inf(1)
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		a, b := poly[i], poly[(i+1)%n]
+		d := b.Sub(a)
+		l2 := d.Norm2()
+		var q geom.Point
+		if l2 < geom.Eps*geom.Eps {
+			q = a
+		} else {
+			t := p.Sub(a).Dot(d) / l2
+			if t < 0 {
+				t = 0
+			} else if t > 1 {
+				t = 1
+			}
+			q = a.Add(d.Scale(t))
+		}
+		if dd := p.Dist(q); dd < best {
+			best = dd
+		}
+	}
+	return best
+}

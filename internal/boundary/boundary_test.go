@@ -1,0 +1,111 @@
+package boundary
+
+import (
+	"testing"
+
+	"laacad/internal/geom"
+	"laacad/internal/wsn"
+)
+
+func TestAngularGapOnHexLattice(t *testing.T) {
+	pts := wsn.HexLattice(7, 7, 1)
+	net := wsn.New(pts, 1.1)
+	got := AngularGap{}.Boundary(net)
+
+	// Interior nodes of a hex lattice have 6 neighbors at 60° spacing: never
+	// boundary. Extremal-row/column nodes must be boundary.
+	center := wsn.CenterIndex(pts)
+	if got[center] {
+		t.Error("central lattice node misclassified as boundary")
+	}
+	if !got[0] {
+		t.Error("corner node not classified as boundary")
+	}
+	// Compare against the hull oracle: every hull-boundary node with the
+	// default tolerance must also be flagged by the angular gap detector.
+	oracle := Hull{}.Boundary(net)
+	for i := range got {
+		if oracle[i] && !got[i] {
+			// Hull tolerance γ/2 can flag second-ring nodes; only strict
+			// hull vertices are a hard requirement. Check distance 0 nodes.
+			hull := geom.ConvexHull(net.Positions())
+			onHull := false
+			for _, v := range hull {
+				if v.Eq(net.Position(i)) {
+					onHull = true
+					break
+				}
+			}
+			if onHull {
+				t.Errorf("node %d on convex hull but AngularGap says interior", i)
+			}
+		}
+	}
+}
+
+func TestAngularGapFewNeighbors(t *testing.T) {
+	// Isolated and degree-1/2 nodes are always boundary.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(50, 50)}
+	net := wsn.New(pts, 1.5)
+	got := AngularGap{}.Boundary(net)
+	for i, b := range got {
+		if !b {
+			t.Errorf("node %d with <3 neighbors should be boundary", i)
+		}
+	}
+}
+
+func TestAngularGapCoincidentNeighbors(t *testing.T) {
+	// Neighbors stacked on the node contribute no bearing; the node should
+	// fall back to boundary rather than crash.
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(0, 0)}
+	net := wsn.New(pts, 1)
+	got := AngularGap{}.Boundary(net)
+	if !got[0] {
+		t.Error("node with only coincident neighbors should be boundary")
+	}
+}
+
+func TestAngularGapThreshold(t *testing.T) {
+	// A node with 4 neighbors at 90° spacing: max gap π/2.
+	pts := []geom.Point{
+		geom.Pt(0, 0),
+		geom.Pt(1, 0), geom.Pt(0, 1), geom.Pt(-1, 0), geom.Pt(0, -1),
+	}
+	net := wsn.New(pts, 1.5)
+	if (AngularGap{Threshold: 2.0}).Boundary(net)[0] {
+		t.Error("π/2 gaps with threshold 2.0: should be interior")
+	}
+	if !(AngularGap{Threshold: 1.0}).Boundary(net)[0] {
+		t.Error("π/2 gaps with threshold 1.0: should be boundary")
+	}
+}
+
+func TestHullDetector(t *testing.T) {
+	pts := wsn.SquareLattice(5, 5, 1)
+	net := wsn.New(pts, 1.5)
+	got := Hull{Tol: 0.1}.Boundary(net)
+	// Exactly the outer ring (16 nodes of 25) is within 0.1 of the hull.
+	count := 0
+	for _, b := range got {
+		if b {
+			count++
+		}
+	}
+	if count != 16 {
+		t.Errorf("boundary count = %d, want 16", count)
+	}
+	// Center node interior.
+	if got[12] {
+		t.Error("center of 5x5 lattice misclassified")
+	}
+}
+
+func TestHullDegenerate(t *testing.T) {
+	// Two collinear nodes: hull has < 3 vertices, everyone is boundary.
+	net := wsn.New([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}, 2)
+	got := Hull{}.Boundary(net)
+	if !got[0] || !got[1] {
+		t.Error("degenerate hull: all nodes should be boundary")
+	}
+}

@@ -1,0 +1,187 @@
+// Package core implements the LAACAD deployment algorithm (Algorithm 1 of
+// the paper): a synchronous round loop in which every node computes its
+// k-order-Voronoi dominating region, moves a step α toward the region's
+// Chebyshev center, and stops when within ε of it; on termination each node
+// sets its sensing range to the circumradius of its dominating region.
+//
+// Two dominating-region engines are provided:
+//
+//   - Centralized: each node's region is computed from global knowledge of
+//     all positions (with an internal expanding-radius shortcut that is
+//     exact — see dominatingRegionAuto). This matches the idealized
+//     algorithm analyzed by the paper's proofs.
+//
+//   - Localized: Algorithm 2 — each node discovers neighbors with an
+//     expanding-ring search over the WSN substrate in increments of the
+//     transmission range γ, stops expanding once the circle of radius ρ/2
+//     around it is fully non-dominated, and computes the region from local
+//     information only. Message costs are accounted. Boundary nodes (per a
+//     pluggable detector) restrict the domination check to the covered part
+//     of the circle and close their region with the search ring.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"laacad/internal/boundary"
+	"laacad/internal/wsn"
+)
+
+// Mode selects the dominating-region engine.
+type Mode int
+
+const (
+	// Centralized computes dominating regions from global position
+	// knowledge (the paper's idealized iteration; default).
+	Centralized Mode = iota
+	// Localized runs Algorithm 2 over the WSN substrate with message
+	// accounting.
+	Localized
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Centralized:
+		return "centralized"
+	case Localized:
+		return "localized"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// UpdateOrder selects how node moves are applied within a round.
+type UpdateOrder int
+
+const (
+	// Synchronous applies all moves simultaneously at the end of the round —
+	// the idealized lock-step iteration.
+	Synchronous UpdateOrder = iota
+	// Sequential applies each node's move immediately, so later nodes in the
+	// round see earlier nodes' new positions. This models the paper's
+	// deployment more closely (each node acts on its own periodic τ-clock,
+	// so updates interleave rather than align), and like Gauss–Seidel
+	// iterations it can settle into different — often tighter — local optima
+	// than the synchronous sweep.
+	Sequential
+)
+
+// String implements fmt.Stringer.
+func (u UpdateOrder) String() string {
+	switch u {
+	case Synchronous:
+		return "synchronous"
+	case Sequential:
+		return "sequential"
+	default:
+		return fmt.Sprintf("UpdateOrder(%d)", int(u))
+	}
+}
+
+// Config parameterizes a LAACAD run. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// K is the coverage order (k ≥ 1).
+	K int
+	// Alpha is the motion step size in (0, 1]. The paper proves convergence
+	// for the whole range; smaller values move nodes more smoothly.
+	Alpha float64
+	// Epsilon is the stopping tolerance: a node stands still once its
+	// distance to the Chebyshev center of its dominating region is ≤ ε.
+	Epsilon float64
+	// MaxRounds caps the number of rounds (safety net; the algorithm
+	// normally converges well before).
+	MaxRounds int
+	// Mode selects centralized or localized region computation.
+	Mode Mode
+	// Order selects synchronous (lock-step) or sequential (interleaved)
+	// application of node moves within a round.
+	Order UpdateOrder
+	// Gamma is the transmission range γ (required in Localized mode; also
+	// used by connectivity checks). Units match the region coordinates.
+	Gamma float64
+	// RingMode selects how the expanding-ring query discovers nodes in
+	// Localized mode (geometric ideal vs. hop-limited flooding).
+	RingMode wsn.RingQueryMode
+	// LossRate, if positive, makes every link-level transmission of the
+	// expanding-ring search fail independently with this probability
+	// (Localized mode only). Lost replies are retried up to LossRetries
+	// times; neighbors that stay silent are simply unknown that round.
+	LossRate float64
+	// LossRetries is the number of query retries under loss (default 2).
+	LossRetries int
+	// ArcSamples is the number of sample points on the ρ/2 circle used by
+	// the Algorithm 2 domination check (line 5). Zero means 64.
+	ArcSamples int
+	// RingCap bounds the expanding-ring radius. Zero means the region
+	// bounding-box diagonal plus γ (effectively global).
+	RingCap float64
+	// Detector flags boundary nodes in Localized mode. Nil means the
+	// angular-gap detector with its default threshold.
+	Detector boundary.Detector
+	// Seed drives the (deterministic) randomized Chebyshev-center
+	// computation.
+	Seed int64
+	// KeepRegions retains every node's final dominating region in the
+	// Result (costs memory; useful for rendering and debugging).
+	KeepRegions bool
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments: step size 0.5 and a stopping tolerance appropriate for a
+// region with unit-scale sides (5·10⁻⁴ ≈ half a meter on the paper's 1 km²
+// area). Scale Epsilon and Gamma along with your region's units.
+func DefaultConfig(k int) Config {
+	return Config{
+		K:          k,
+		Alpha:      0.5,
+		Epsilon:    5e-4,
+		MaxRounds:  500,
+		Mode:       Centralized,
+		Gamma:      0.15,
+		ArcSamples: 64,
+	}
+}
+
+// validate normalizes defaults and rejects invalid settings.
+func (c *Config) validate(n int) error {
+	if c.K < 1 {
+		return fmt.Errorf("core: K must be >= 1, got %d", c.K)
+	}
+	if n < c.K {
+		return fmt.Errorf("core: need at least K=%d nodes, got %d", c.K, n)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: Alpha must be in (0, 1], got %v", c.Alpha)
+	}
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("core: Epsilon must be positive, got %v", c.Epsilon)
+	}
+	if c.MaxRounds < 1 {
+		return fmt.Errorf("core: MaxRounds must be >= 1, got %d", c.MaxRounds)
+	}
+	if c.Mode == Localized && c.Gamma <= 0 {
+		return fmt.Errorf("core: Localized mode requires positive Gamma, got %v", c.Gamma)
+	}
+	if c.Mode != Localized && c.Mode != Centralized {
+		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("core: LossRate must be in [0, 1), got %v", c.LossRate)
+	}
+	if c.LossRetries == 0 {
+		c.LossRetries = 2
+	}
+	if c.ArcSamples == 0 {
+		c.ArcSamples = 64
+	}
+	if c.ArcSamples < 8 {
+		return fmt.Errorf("core: ArcSamples must be >= 8, got %d", c.ArcSamples)
+	}
+	if math.IsNaN(c.Epsilon) || math.IsNaN(c.Alpha) {
+		return fmt.Errorf("core: NaN parameter")
+	}
+	return nil
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"laacad/internal/boundary"
+	"laacad/internal/geom"
+	"laacad/internal/region"
+	"laacad/internal/voronoi"
+	"laacad/internal/wsn"
+)
+
+// RoundStats records one round of the deployment for convergence analysis
+// (the series plotted in the paper's Fig. 6).
+type RoundStats struct {
+	Round int
+	// MaxCircumradius and MinCircumradius are the extrema over nodes of the
+	// circumradius of each node's dominating region (the smallest-enclosing-
+	// circle radius R_i computed at the node's position for that round).
+	MaxCircumradius float64
+	MinCircumradius float64
+	// MaxRhat is max_i max_{v∈V_i} ‖v−u_i‖ — the quantity R̂ that the
+	// convergence proof (Prop. 4) shows non-increasing.
+	MaxRhat float64
+	// MaxMove is the largest distance any node moved this round.
+	MaxMove float64
+	// Moved is the number of nodes that moved more than ε.
+	Moved int
+	// Messages is the number of link-level messages sent this round
+	// (Localized mode only).
+	Messages int64
+}
+
+// Result is the outcome of a deployment run.
+type Result struct {
+	// Positions are the final node locations u*_i.
+	Positions []geom.Point
+	// Radii are the final sensing ranges r*_i (circumradius of each node's
+	// dominating region about its final position).
+	Radii []float64
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Converged reports whether every node ended within ε of its Chebyshev
+	// center (as opposed to hitting MaxRounds).
+	Converged bool
+	// Trace holds per-round statistics.
+	Trace []RoundStats
+	// Messages is the total link-level message count (Localized mode).
+	Messages int64
+	// Regions holds each node's final dominating region if
+	// Config.KeepRegions was set.
+	Regions [][]geom.Polygon
+}
+
+// MaxRadius returns max_i r*_i — the paper's objective R.
+func (r *Result) MaxRadius() float64 {
+	var m float64
+	for _, v := range r.Radii {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MinRadius returns min_i r*_i.
+func (r *Result) MinRadius() float64 {
+	if len(r.Radii) == 0 {
+		return 0
+	}
+	m := math.Inf(1)
+	for _, v := range r.Radii {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Engine executes LAACAD rounds. Create with New, then call Step until
+// convergence or use Run. The Engine may be mutated between steps (e.g.
+// RemoveNode for failure injection); it re-validates node counts.
+type Engine struct {
+	cfg      Config
+	reg      *region.Region
+	net      *wsn.Network
+	rng      *rand.Rand
+	detector boundary.Detector
+
+	round     int
+	converged bool
+	trace     []RoundStats
+	regions   [][]geom.Polygon // last round's dominating regions
+	prevMsgs  int64
+}
+
+// New creates an Engine deploying the given initial node positions over reg.
+// Initial positions outside the region are clamped inside.
+func New(reg *region.Region, initial []geom.Point, cfg Config) (*Engine, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("core: nil region")
+	}
+	if err := cfg.validate(len(initial)); err != nil {
+		return nil, err
+	}
+	if cfg.RingCap == 0 {
+		cfg.RingCap = reg.BBox().Diagonal() + cfg.Gamma
+	}
+	pos := make([]geom.Point, len(initial))
+	for i, p := range initial {
+		pos[i] = reg.ClampInside(p)
+	}
+	gamma := cfg.Gamma
+	if gamma <= 0 {
+		gamma = reg.BBox().Diagonal() / 8 // spatial-index cell size only
+	}
+	det := cfg.Detector
+	if det == nil {
+		det = boundary.AngularGap{}
+	}
+	return &Engine{
+		cfg:      cfg,
+		reg:      reg,
+		net:      wsn.New(pos, gamma),
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		detector: det,
+	}, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Network exposes the underlying WSN substrate (positions, message stats).
+func (e *Engine) Network() *wsn.Network { return e.net }
+
+// Positions returns a copy of the current node positions.
+func (e *Engine) Positions() []geom.Point { return e.net.Positions() }
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int { return e.round }
+
+// Converged reports whether the last Step found every node within ε of its
+// Chebyshev center.
+func (e *Engine) Converged() bool { return e.converged }
+
+// Trace returns the per-round statistics collected so far.
+func (e *Engine) Trace() []RoundStats { return e.trace }
+
+// Step executes one LAACAD round and returns its statistics. The returned
+// bool is true once the deployment has converged (no node needed to move
+// more than ε this round). With Config.Order == Synchronous all moves apply
+// at the end of the round; with Sequential each node's move is visible to
+// the nodes processed after it.
+func (e *Engine) Step() (RoundStats, bool) {
+	n := e.net.Len()
+	stats := RoundStats{
+		Round:           e.round + 1,
+		MinCircumradius: math.Inf(1),
+	}
+	var isBoundary []bool
+	if e.cfg.Mode == Localized {
+		isBoundary = e.detector.Boundary(e.net)
+	}
+	sequential := e.cfg.Order == Sequential
+	polysPerNode := make([][]geom.Polygon, n)
+	next := make([]geom.Point, n)
+	moved := 0
+	for i := 0; i < n; i++ {
+		ui := e.net.Position(i)
+		polys := e.regionOf(i, isBoundary)
+		polysPerNode[i] = polys
+		if len(polys) == 0 {
+			// Pathological (e.g. node crowded out numerically): stand still.
+			next[i] = ui
+			continue
+		}
+		verts := voronoi.Vertices(polys)
+		ci, ri := geom.ChebyshevCenter(verts, e.rng)
+		ci = e.reg.ClampInside(ci)
+		rhat := voronoi.MaxDistFrom(ui, polys)
+
+		if ri > stats.MaxCircumradius {
+			stats.MaxCircumradius = ri
+		}
+		if ri < stats.MinCircumradius {
+			stats.MinCircumradius = ri
+		}
+		if rhat > stats.MaxRhat {
+			stats.MaxRhat = rhat
+		}
+
+		if d := ui.Dist(ci); d > e.cfg.Epsilon {
+			target := ui.Add(ci.Sub(ui).Scale(e.cfg.Alpha))
+			target = e.reg.ClampInside(target)
+			next[i] = target
+			moved++
+			if mv := ui.Dist(target); mv > stats.MaxMove {
+				stats.MaxMove = mv
+			}
+		} else {
+			next[i] = ui
+		}
+		if sequential {
+			e.net.SetPosition(i, next[i])
+		}
+	}
+	if math.IsInf(stats.MinCircumradius, 1) {
+		stats.MinCircumradius = 0
+	}
+	if !sequential {
+		e.net.SetPositions(next)
+	}
+	e.regions = polysPerNode
+	e.round++
+	stats.Moved = moved
+	cur := e.net.Stats().Messages
+	stats.Messages = cur - e.prevMsgs
+	e.prevMsgs = cur
+	e.trace = append(e.trace, stats)
+	e.converged = moved == 0
+	return stats, e.converged
+}
+
+// regionOf computes node i's dominating region under the configured mode.
+// isBoundary is the per-node boundary bitmap (Localized mode only; may be
+// nil otherwise).
+func (e *Engine) regionOf(i int, isBoundary []bool) []geom.Polygon {
+	if e.cfg.Mode == Localized {
+		b := false
+		if isBoundary != nil {
+			b = isBoundary[i]
+		}
+		return e.localizedRegionOf(i, b)
+	}
+	return e.centralizedRegionOf(i)
+}
+
+// Run executes Step until convergence or MaxRounds, then assigns final
+// sensing ranges and returns the Result.
+func (e *Engine) Run() (*Result, error) {
+	for e.round < e.cfg.MaxRounds {
+		if _, done := e.Step(); done {
+			break
+		}
+	}
+	return e.Finalize()
+}
+
+// Finalize assigns final sensing ranges (line 7 of Algorithm 1) and packages
+// the Result. It can be called at any point, converged or not. When the run
+// has converged, the dominating regions from the last round are reused (no
+// node moved, so they are exact for the final positions); otherwise they are
+// recomputed, which in Localized mode costs additional messages beyond the
+// per-round trace.
+func (e *Engine) Finalize() (*Result, error) {
+	polysPerNode := e.regions
+	if !e.converged || polysPerNode == nil {
+		polysPerNode = e.computeRegions()
+	}
+	n := e.net.Len()
+	radii := make([]float64, n)
+	for i := 0; i < n; i++ {
+		radii[i] = voronoi.MaxDistFrom(e.net.Position(i), polysPerNode[i])
+	}
+	res := &Result{
+		Positions: e.net.Positions(),
+		Radii:     radii,
+		Rounds:    e.round,
+		Converged: e.converged,
+		Trace:     append([]RoundStats(nil), e.trace...),
+		Messages:  e.net.Stats().Messages,
+	}
+	if e.cfg.KeepRegions {
+		res.Regions = polysPerNode
+	}
+	return res, nil
+}
+
+// DebugRegions computes and returns every node's dominating region at the
+// current positions without advancing the round counter. In Localized mode
+// this performs (and charges) real expanding-ring searches. Intended for
+// inspection, rendering and cross-validation.
+func (e *Engine) DebugRegions() [][]geom.Polygon {
+	return e.computeRegions()
+}
+
+// RemoveNode deletes node i from the deployment (failure injection). The
+// engine continues with the remaining nodes; convergence state is reset.
+func (e *Engine) RemoveNode(i int) error {
+	pos := e.net.Positions()
+	if i < 0 || i >= len(pos) {
+		return fmt.Errorf("core: RemoveNode index %d out of range [0,%d)", i, len(pos))
+	}
+	if len(pos)-1 < e.cfg.K {
+		return fmt.Errorf("core: removing node %d would leave %d < K=%d nodes", i, len(pos)-1, e.cfg.K)
+	}
+	pos = append(pos[:i], pos[i+1:]...)
+	e.net = wsn.New(pos, e.net.Gamma())
+	e.prevMsgs = 0
+	e.converged = false
+	return nil
+}
+
+// AddNode inserts a node at p (clamped into the region). Convergence state
+// is reset.
+func (e *Engine) AddNode(p geom.Point) {
+	pos := append(e.net.Positions(), e.reg.ClampInside(p))
+	e.net = wsn.New(pos, e.net.Gamma())
+	e.prevMsgs = 0
+	e.converged = false
+}
+
+// computeRegions returns each node's dominating region under the configured
+// mode.
+func (e *Engine) computeRegions() [][]geom.Polygon {
+	switch e.cfg.Mode {
+	case Localized:
+		return e.localizedRegions()
+	default:
+		return e.centralizedRegions()
+	}
+}
+
+// centralizedRegions computes every node's dominating region with global
+// knowledge.
+func (e *Engine) centralizedRegions() [][]geom.Polygon {
+	n := e.net.Len()
+	out := make([][]geom.Polygon, n)
+	for i := 0; i < n; i++ {
+		out[i] = e.centralizedRegionOf(i)
+	}
+	return out
+}
+
+// centralizedRegionOf computes node i's dominating region with global
+// knowledge.
+func (e *Engine) centralizedRegionOf(i int) []geom.Polygon {
+	return CentralizedDominatingRegion(e.net, e.reg, i, e.cfg.K)
+}
+
+// CentralizedDominatingRegion computes node i's dominating region over the
+// network's current positions from global knowledge, using an
+// exactness-checked expanding radius: a region computed from all nodes
+// within distance ρ of u_i is globally exact as soon as its circumradius-
+// from-u_i satisfies R̂ ≤ ρ/2, because every generator that could beat u_i
+// at a point within R̂ of u_i lies within 2·R̂ ≤ ρ of u_i. It is shared by
+// the round Engine and the asynchronous event-driven simulator.
+func CentralizedDominatingRegion(net *wsn.Network, reg *region.Region, i, k int) []geom.Polygon {
+	n := net.Len()
+	pieces := reg.Pieces()
+	diag := reg.BBox().Diagonal()
+	ui := net.Position(i)
+	self := voronoi.Site{ID: i, Pos: ui}
+	// Initial guess: enough radius to see ~4k neighbors in a uniform
+	// deployment; grows geometrically until the exactness check passes.
+	rho := diag / math.Sqrt(float64(n)) * math.Sqrt(float64(4*k+4))
+	for {
+		nbrIDs := net.NeighborsWithin(i, rho)
+		sites := make([]voronoi.Site, 0, len(nbrIDs))
+		for _, j := range nbrIDs {
+			sites = append(sites, voronoi.Site{ID: j, Pos: net.Position(j)})
+		}
+		polys := voronoi.DominatingRegion(self, sites, k, pieces)
+		rhat := voronoi.MaxDistFrom(ui, polys)
+		if 2*rhat <= rho || len(nbrIDs) == n-1 || rho > 4*diag {
+			return polys
+		}
+		rho *= 2
+	}
+}

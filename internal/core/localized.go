@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+
+	"laacad/internal/geom"
+	"laacad/internal/voronoi"
+	"laacad/internal/wsn"
+)
+
+// localizedRegions computes every node's dominating region with Algorithm 2:
+// an expanding-ring neighbor search in increments of the transmission range
+// γ, stopped once the circle of radius ρ/2 around the node is entirely
+// non-dominated (every in-region sample already has ≥ k closer nodes).
+//
+// Correctness (Lemma 1 and the star-shape argument): the set where fewer
+// than k others are closer is star-shaped about u_i — if a point v has ≥ k
+// closer nodes, so does every point on the ray from u_i beyond v, because
+// each "closer than u_i" half-plane is convex and excludes u_i. Hence a
+// fully dominated ρ/2 circle implies the true dominating region lies inside
+// the ρ/2 disk, where the local computation is exact: any node beating u_i
+// at a point within ρ/2 of u_i must itself lie within ρ of u_i.
+//
+// Boundary nodes (per the configured detector) restrict the domination check
+// to the portion of the circle inside the network's coverage and close their
+// region with the search ring, which is what pushes them outward during the
+// expanding phase (Fig. 3 of the paper).
+func (e *Engine) localizedRegions() [][]geom.Polygon {
+	n := e.net.Len()
+	out := make([][]geom.Polygon, n)
+	isBoundary := e.detector.Boundary(e.net)
+	for i := 0; i < n; i++ {
+		out[i] = e.localizedRegionOf(i, isBoundary[i])
+	}
+	return out
+}
+
+func (e *Engine) localizedRegionOf(i int, isBoundary bool) []geom.Polygon {
+	ui := e.net.Position(i)
+	gamma := e.cfg.Gamma
+	rho := 0.0
+	var nbrIDs []int
+	clipToRing := isBoundary
+	query := func(radius float64) []int {
+		if e.cfg.LossRate > 0 {
+			return e.net.RingQueryLossy(i, radius, wsn.LossyRingConfig{
+				LossRate: e.cfg.LossRate,
+				Retries:  e.cfg.LossRetries,
+				Mode:     e.cfg.RingMode,
+			}, e.rng)
+		}
+		return e.net.RingQuery(i, radius, e.cfg.RingMode)
+	}
+	for {
+		rho += gamma
+		if rho >= e.cfg.RingCap {
+			rho = e.cfg.RingCap
+			nbrIDs = query(rho)
+			clipToRing = true
+			break
+		}
+		nbrIDs = query(rho)
+		dominated, sampled := e.circleDominated(i, nbrIDs, rho/2, isBoundary)
+		if dominated {
+			if sampled == 0 {
+				// The whole check circle fell outside the region (or the
+				// covered area): the ring bounds what we know, so close the
+				// region with it.
+				clipToRing = true
+			}
+			break
+		}
+	}
+
+	sites := make([]voronoi.Site, 0, len(nbrIDs))
+	for _, j := range nbrIDs {
+		sites = append(sites, voronoi.Site{ID: j, Pos: e.net.Position(j)})
+	}
+	polys := voronoi.DominatingRegion(voronoi.Site{ID: i, Pos: ui}, sites, e.cfg.K, e.reg.Pieces())
+	if clipToRing {
+		polys = clipToDisk(polys, geom.Circle{Center: ui, R: rho / 2})
+	}
+	return polys
+}
+
+// circleDominated implements lines 5–8 of Algorithm 2: it samples the circle
+// of radius r around node i and reports whether every valid sample already
+// has at least k closer nodes among nbrIDs. Samples outside the region are
+// always skipped (the region boundary naturally bounds dominating regions);
+// for boundary nodes, samples outside the network's covered area are skipped
+// as well. The second return value is the number of samples actually
+// checked.
+func (e *Engine) circleDominated(i int, nbrIDs []int, r float64, isBoundary bool) (bool, int) {
+	ui := e.net.Position(i)
+	k := e.cfg.K
+	sampled := 0
+	// A small phase offset keeps samples off axis-aligned region boundaries.
+	pts := geom.SamplePointsOnCircle(geom.Circle{Center: ui, R: r}, e.cfg.ArcSamples, 1e-3)
+	for _, v := range pts {
+		if !e.reg.Contains(v) {
+			continue
+		}
+		if isBoundary && !e.covered(v, i, nbrIDs) {
+			continue
+		}
+		sampled++
+		closer := 0
+		d2 := ui.Dist2(v)
+		for _, j := range nbrIDs {
+			if e.net.Position(j).Dist2(v) < d2 {
+				closer++
+				if closer >= k {
+					break
+				}
+			}
+		}
+		if closer < k {
+			return false, sampled
+		}
+	}
+	return true, sampled
+}
+
+// covered reports whether v lies in the network's communication-coverage
+// area as known to node i: within γ of the node itself or of any gathered
+// neighbor. This approximates the coverage boundary (the green curve in the
+// paper's Fig. 3) from purely local information.
+func (e *Engine) covered(v geom.Point, i int, nbrIDs []int) bool {
+	g2 := e.cfg.Gamma * e.cfg.Gamma
+	if e.net.Position(i).Dist2(v) <= g2 {
+		return true
+	}
+	for _, j := range nbrIDs {
+		if e.net.Position(j).Dist2(v) <= g2 {
+			return true
+		}
+	}
+	return false
+}
+
+// clipToDisk clips polygons to an inscribed 48-gon of the disk — the search
+// ring closing a boundary node's dominating region.
+func clipToDisk(polys []geom.Polygon, disk geom.Circle) []geom.Polygon {
+	if disk.R <= 0 {
+		return nil
+	}
+	ring := geom.RegularPolygon(disk, 48, math.Pi/48)
+	var out []geom.Polygon
+	for _, p := range polys {
+		if clipped := p.ClipConvex(ring); len(clipped) >= 3 && clipped.Area() > 1e-16 {
+			out = append(out, clipped)
+		}
+	}
+	return out
+}

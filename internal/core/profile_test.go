@@ -1,0 +1,31 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"laacad/internal/geom"
+	"laacad/internal/region"
+)
+
+// BenchmarkTable2Round measures one centralized round at the Table II scale
+// (180 nodes, k=4, 100×100 m area) — the dominant cost in the experiment
+// harness.
+func BenchmarkTable2Round(b *testing.B) {
+	reg := region.Rect(0, 0, 100, 100)
+	rng := rand.New(rand.NewSource(1))
+	start := make([]geom.Point, 180)
+	for i := range start {
+		start[i] = geom.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	cfg := DefaultConfig(4)
+	cfg.Epsilon = 0.02
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}

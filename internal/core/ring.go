@@ -1,0 +1,75 @@
+package core
+
+import (
+	"laacad/internal/geom"
+	"laacad/internal/region"
+	"laacad/internal/voronoi"
+	"laacad/internal/wsn"
+)
+
+// RingProbe reports the outcome of one expanding-ring search (Algorithm 2)
+// for a single node, without moving anything — the measurement behind the
+// paper's Fig. 2 (how many hops a node needs to compute its k-order
+// dominating region).
+type RingProbe struct {
+	// Hops is the final ring radius in units of γ (ρ = Hops·γ).
+	Hops int
+	// Neighbors is the number of nodes inside the final ring.
+	Neighbors int
+	// Messages is the link-level message cost charged for the search.
+	Messages int64
+	// Region is the resulting dominating region.
+	Region []geom.Polygon
+}
+
+// ExpandingRing runs Algorithm 2 for node i over the network as it stands
+// and returns the probe result. The search expands in increments of γ until
+// the circle of radius ρ/2 around the node is fully non-dominated (sampled
+// with arcSamples points, skipping samples outside reg), exactly as the
+// Localized engine does for interior nodes. ringCap bounds ρ; pass 0 for the
+// region diagonal.
+func ExpandingRing(net *wsn.Network, reg *region.Region, i, k, arcSamples int, mode wsn.RingQueryMode, ringCap float64) RingProbe {
+	if arcSamples < 8 {
+		arcSamples = 64
+	}
+	if ringCap == 0 {
+		ringCap = reg.BBox().Diagonal() + net.Gamma()
+	}
+	e := &Engine{
+		cfg: Config{
+			K:          k,
+			Gamma:      net.Gamma(),
+			ArcSamples: arcSamples,
+			RingMode:   mode,
+			RingCap:    ringCap,
+		},
+		reg: reg,
+		net: net,
+	}
+	before := net.Stats().Messages
+	gamma := net.Gamma()
+	rho := 0.0
+	var nbrIDs []int
+	for {
+		rho += gamma
+		if rho >= ringCap {
+			nbrIDs = net.RingQuery(i, ringCap, mode)
+			break
+		}
+		nbrIDs = net.RingQuery(i, rho, mode)
+		if dominated, _ := e.circleDominated(i, nbrIDs, rho/2, false); dominated {
+			break
+		}
+	}
+	sites := make([]voronoi.Site, 0, len(nbrIDs))
+	for _, j := range nbrIDs {
+		sites = append(sites, voronoi.Site{ID: j, Pos: net.Position(j)})
+	}
+	polys := voronoi.DominatingRegion(voronoi.Site{ID: i, Pos: net.Position(i)}, sites, k, reg.Pieces())
+	return RingProbe{
+		Hops:      int(rho/gamma + 0.5),
+		Neighbors: len(nbrIDs),
+		Messages:  net.Stats().Messages - before,
+		Region:    polys,
+	}
+}

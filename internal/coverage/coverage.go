@@ -1,0 +1,131 @@
+// Package coverage verifies k-area coverage of a sensor deployment and
+// computes the load metrics reported in the paper's evaluation (max/total
+// sensing load, min/max sensing range).
+//
+// Verification is grid-based: the region is sampled at cell centers of a
+// uniform grid and each sample's coverage depth (number of sensing disks
+// containing it) is counted. Definition 1 of the paper holds when the
+// minimum depth over all samples is at least k.
+package coverage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"laacad/internal/geom"
+	"laacad/internal/region"
+)
+
+// Report summarizes the coverage of a deployment over a region.
+type Report struct {
+	// Samples is the number of in-region grid samples checked.
+	Samples int
+	// MinDepth and MaxDepth are the extrema of per-sample coverage depth.
+	MinDepth, MaxDepth int
+	// MeanDepth is the average coverage depth (the deployment's redundancy).
+	MeanDepth float64
+	// DepthHist[d] counts samples covered by exactly d sensors, for
+	// d ≤ len(DepthHist)−1; deeper samples are accumulated in the last bin.
+	DepthHist []int
+	// WorstPoint is a sample achieving MinDepth (useful for debugging).
+	WorstPoint geom.Point
+}
+
+// KCovered reports whether every sample is covered at least k times.
+func (r Report) KCovered(k int) bool { return r.Samples > 0 && r.MinDepth >= k }
+
+// FracAtLeast returns the fraction of samples covered by at least k sensors.
+func (r Report) FracAtLeast(k int) float64 {
+	if r.Samples == 0 {
+		return 0
+	}
+	covered := 0
+	for d := len(r.DepthHist) - 1; d >= 0 && d >= k; d-- {
+		covered += r.DepthHist[d]
+	}
+	return float64(covered) / float64(r.Samples)
+}
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	return fmt.Sprintf("coverage{samples=%d depth=[%d,%d] mean=%.2f}",
+		r.Samples, r.MinDepth, r.MaxDepth, r.MeanDepth)
+}
+
+// Verify samples reg on a resolution×resolution grid and measures the
+// coverage depth of the deployment given by node positions and per-node
+// sensing radii. It panics if positions and radii lengths differ.
+func Verify(positions []geom.Point, radii []float64, reg *region.Region, resolution int) Report {
+	if len(positions) != len(radii) {
+		panic(fmt.Sprintf("coverage: %d positions vs %d radii", len(positions), len(radii)))
+	}
+	samples := reg.GridPoints(resolution)
+	rep := Report{
+		Samples:   len(samples),
+		MinDepth:  math.MaxInt,
+		DepthHist: make([]int, 16),
+	}
+	if len(samples) == 0 {
+		rep.MinDepth = 0
+		return rep
+	}
+	// Spatial pruning: sort sensors by x and use the max radius as a window.
+	type sensor struct {
+		p geom.Point
+		r float64
+	}
+	sensors := make([]sensor, len(positions))
+	var maxR float64
+	for i := range positions {
+		sensors[i] = sensor{positions[i], radii[i]}
+		if radii[i] > maxR {
+			maxR = radii[i]
+		}
+	}
+	sort.Slice(sensors, func(a, b int) bool { return sensors[a].p.X < sensors[b].p.X })
+	xs := make([]float64, len(sensors))
+	for i, s := range sensors {
+		xs[i] = s.p.X
+	}
+
+	var totalDepth int64
+	for _, v := range samples {
+		depth := 0
+		lo := sort.SearchFloat64s(xs, v.X-maxR)
+		for j := lo; j < len(sensors) && xs[j] <= v.X+maxR; j++ {
+			s := sensors[j]
+			if s.p.Dist2(v) <= s.r*s.r*(1+1e-12)+geom.Eps {
+				depth++
+			}
+		}
+		totalDepth += int64(depth)
+		if depth < rep.MinDepth {
+			rep.MinDepth = depth
+			rep.WorstPoint = v
+		}
+		if depth > rep.MaxDepth {
+			rep.MaxDepth = depth
+		}
+		bin := depth
+		if bin >= len(rep.DepthHist) {
+			bin = len(rep.DepthHist) - 1
+		}
+		rep.DepthHist[bin]++
+	}
+	rep.MeanDepth = float64(totalDepth) / float64(rep.Samples)
+	return rep
+}
+
+// UniformRadius returns the common sensing range that would replace the
+// per-node radii without losing coverage: the maximum radius (the paper's
+// min-node comparison assigns R* to every node).
+func UniformRadius(radii []float64) float64 {
+	var m float64
+	for _, r := range radii {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"fmt"
+
+	"laacad/internal/asciiplot"
+	"laacad/internal/coverage"
+	"laacad/internal/region"
+	"laacad/internal/stats"
+)
+
+func init() {
+	register("replication", runReplication)
+}
+
+// runReplication tests the paper's "results from our extensive experiments
+// are all similar" claim: the same workload (uniform start, k=2) is run
+// across independent seeds and the spread of the objective R* is measured.
+// A well-behaved algorithm shows a small coefficient of variation, and every
+// replicate must k-cover.
+func runReplication(cfg RunConfig) (*Output, error) {
+	reg := region.UnitSquareKm()
+	n, k := 60, 2
+	seeds := 10
+	if cfg.Quick {
+		n, seeds = 30, 4
+	}
+	out := &Output{
+		Name:  "replication",
+		Title: "seed-to-seed variability of the deployment objective",
+		CSV:   map[string]string{},
+	}
+	var rStars, rounds []float64
+	covered := 0
+	csv := [][]string{{"seed", "r_star", "rounds", "covered"}}
+	for s := 0; s < seeds; s++ {
+		seed := cfg.Seed + int64(1000+s)
+		res, err := deploy(reg, n, k, 1e-3, 300, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep := coverage.Verify(res.Positions, res.Radii, reg, 60)
+		if rep.KCovered(k) {
+			covered++
+		}
+		rStars = append(rStars, res.MaxRadius())
+		rounds = append(rounds, float64(res.Rounds))
+		csv = append(csv, []string{fmt.Sprint(seed), f64(res.MaxRadius()),
+			fmt.Sprint(res.Rounds), fmt.Sprint(rep.KCovered(k))})
+	}
+	rSum := stats.Summarize(rStars)
+	roundSum := stats.Summarize(rounds)
+	out.Checks = append(out.Checks,
+		check("every replicate k-covers", covered == seeds, "%d/%d", covered, seeds),
+		check("R* spread is small", rSum.CoefficientVar < 0.10,
+			"cv = %.1f%% over %d seeds", 100*rSum.CoefficientVar, seeds),
+	)
+	rows := [][]string{
+		{"R*", rSum.String()},
+		{"rounds", roundSum.String()},
+	}
+	out.Text = asciiplot.Table([]string{"metric", "summary"}, rows)
+	out.CSV["replication.csv"] = asciiplot.CSV(csv)
+	return out, nil
+}

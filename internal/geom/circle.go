@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Circle is a disk described by its center and radius. The zero value is the
+// degenerate disk {origin}.
+type Circle struct {
+	Center Point
+	R      float64
+}
+
+// Contains reports whether p lies inside or on the circle, within tolerance.
+func (c Circle) Contains(p Point) bool {
+	return c.Center.Dist2(p) <= (c.R+Eps)*(c.R+Eps)
+}
+
+// ContainsAll reports whether every point in pts lies inside or on c.
+func (c Circle) ContainsAll(pts []Point) bool {
+	for _, p := range pts {
+		if !c.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Area returns the disk area πR².
+func (c Circle) Area() float64 { return math.Pi * c.R * c.R }
+
+// String implements fmt.Stringer.
+func (c Circle) String() string {
+	return fmt.Sprintf("circle{c=%v r=%.6g}", c.Center, c.R)
+}
+
+// CircleFrom2 returns the smallest circle through a and b (diameter circle).
+func CircleFrom2(a, b Point) Circle {
+	return Circle{Center: a.Mid(b), R: a.Dist(b) / 2}
+}
+
+// CircleFrom3 returns the circumcircle of the triangle abc. If the points
+// are (nearly) collinear it falls back to the smallest circle spanning the
+// two farthest of the three points, which is the correct smallest enclosing
+// circle for a degenerate triple.
+func CircleFrom3(a, b, c Point) Circle {
+	// Solve for the circumcenter via the perpendicular-bisector linear
+	// system expressed relative to a for numerical stability.
+	bx, by := b.X-a.X, b.Y-a.Y
+	cx, cy := c.X-a.X, c.Y-a.Y
+	d := 2 * (bx*cy - by*cx)
+	scale := (math.Abs(bx)+math.Abs(by))*(math.Abs(cx)+math.Abs(cy)) + 1
+	if math.Abs(d) <= Eps*scale {
+		// Degenerate: collinear points. The smallest enclosing circle is the
+		// diameter circle of the farthest pair.
+		ab, ac, bc := a.Dist2(b), a.Dist2(c), b.Dist2(c)
+		switch {
+		case ab >= ac && ab >= bc:
+			return CircleFrom2(a, b)
+		case ac >= bc:
+			return CircleFrom2(a, c)
+		default:
+			return CircleFrom2(b, c)
+		}
+	}
+	b2 := bx*bx + by*by
+	c2 := cx*cx + cy*cy
+	ux := (cy*b2 - by*c2) / d
+	uy := (bx*c2 - cx*b2) / d
+	center := Point{a.X + ux, a.Y + uy}
+	return Circle{Center: center, R: center.Dist(a)}
+}
+
+// CirclePolygonIntersectionArea approximates the area of the intersection
+// between circle c and convex polygon poly by clipping a fine regular
+// polygonal approximation of the circle against poly. n controls the number
+// of circle segments (n ≥ 8; larger is more accurate).
+func CirclePolygonIntersectionArea(c Circle, poly Polygon, n int) float64 {
+	if n < 8 {
+		n = 8
+	}
+	approx := make(Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		approx = append(approx, Point{
+			X: c.Center.X + c.R*math.Cos(th),
+			Y: c.Center.Y + c.R*math.Sin(th),
+		})
+	}
+	clipped := approx
+	for i := 0; i < len(poly) && len(clipped) > 0; i++ {
+		a, b := poly[i], poly[(i+1)%len(poly)]
+		clipped = clipped.ClipHalfPlane(HalfPlaneFromEdge(a, b))
+	}
+	return clipped.Area()
+}
+
+// SamplePointsOnCircle returns n points evenly spaced on the circle boundary
+// starting at angle phase (radians).
+func SamplePointsOnCircle(c Circle, n int, phase float64) []Point {
+	if n <= 0 {
+		return nil
+	}
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		th := phase + 2*math.Pi*float64(i)/float64(n)
+		pts = append(pts, Point{
+			X: c.Center.X + c.R*math.Cos(th),
+			Y: c.Center.Y + c.R*math.Sin(th),
+		})
+	}
+	return pts
+}

@@ -1,0 +1,54 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of pts in counter-clockwise order using
+// Andrew's monotone-chain algorithm. Collinear points on the hull boundary
+// are dropped. Degenerate inputs return what hull exists: 0, 1 or 2 points.
+// The input slice is not modified.
+func ConvexHull(pts []Point) Polygon {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	sorted := make([]Point, n)
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	// Remove exact duplicates to keep the chain construction simple.
+	uniq := sorted[:1]
+	for _, p := range sorted[1:] {
+		if !p.Eq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 1 {
+		return Polygon{uniq[0]}
+	}
+	if len(uniq) == 2 {
+		return Polygon{uniq[0], uniq[1]}
+	}
+
+	hull := make(Polygon, 0, 2*len(uniq))
+	// Lower hull.
+	for _, p := range uniq {
+		for len(hull) >= 2 && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	// Upper hull.
+	lower := len(hull) + 1
+	for i := len(uniq) - 2; i >= 0; i-- {
+		p := uniq[i]
+		for len(hull) >= lower && Orientation(hull[len(hull)-2], hull[len(hull)-1], p) <= 0 {
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, p)
+	}
+	return hull[:len(hull)-1]
+}

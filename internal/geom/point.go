@@ -1,0 +1,196 @@
+// Package geom provides the 2-D computational-geometry substrate used by the
+// LAACAD reproduction: points and vectors, circles, segments, convex
+// polygons with half-plane clipping, convex hulls, and smallest enclosing
+// circles (Welzl's algorithm).
+//
+// All coordinates are float64. The package uses a small absolute tolerance
+// (Eps) for orientation and incidence decisions, which is adequate for the
+// coordinate magnitudes that appear in the paper's experiments (areas on the
+// order of 1 km² with coordinates expressed in km or m).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the absolute tolerance used by geometric predicates.
+const Eps = 1e-9
+
+// Point is a point (or position vector) in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for constructing a Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p − q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns s·p.
+func (p Point) Scale(s float64) Point { return Point{s * p.X, s * p.Y} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p × q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean norm ‖p‖₂.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Norm2 returns the squared Euclidean norm ‖p‖₂².
+func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
+
+// Dist returns the Euclidean distance ‖p−q‖₂.
+func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance ‖p−q‖₂².
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp returns the linear interpolation p + t·(q−p).
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}
+
+// Mid returns the midpoint of p and q.
+func (p Point) Mid(q Point) Point { return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2} }
+
+// Rot90 returns p rotated 90° counter-clockwise.
+func (p Point) Rot90() Point { return Point{-p.Y, p.X} }
+
+// Unit returns p normalized to unit length. The zero vector is returned
+// unchanged.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n < Eps {
+		return p
+	}
+	return Point{p.X / n, p.Y / n}
+}
+
+// Angle returns the polar angle of p in (−π, π].
+func (p Point) Angle() float64 { return math.Atan2(p.Y, p.X) }
+
+// Eq reports whether p and q coincide within tolerance Eps.
+func (p Point) Eq(q Point) bool {
+	return math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// EqTol reports whether p and q coincide within tolerance tol.
+func (p Point) EqTol(q Point, tol float64) bool {
+	return math.Abs(p.X-q.X) <= tol && math.Abs(p.Y-q.Y) <= tol
+}
+
+// IsFinite reports whether both coordinates are finite numbers.
+func (p Point) IsFinite() bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y) }
+
+// Orientation returns +1 if a→b→c turns counter-clockwise, −1 if clockwise,
+// and 0 if the three points are collinear within tolerance.
+func Orientation(a, b, c Point) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	// Scale tolerance with the magnitude of the operands so the predicate
+	// behaves consistently for meter- and kilometer-scale coordinates.
+	scale := math.Abs(b.X-a.X) + math.Abs(b.Y-a.Y) + math.Abs(c.X-a.X) + math.Abs(c.Y-a.Y)
+	tol := Eps * (1 + scale)
+	switch {
+	case v > tol:
+		return 1
+	case v < -tol:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Centroid returns the arithmetic mean of pts. It panics if pts is empty.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		panic("geom: Centroid of empty point set")
+	}
+	var c Point
+	for _, p := range pts {
+		c = c.Add(p)
+	}
+	return c.Scale(1 / float64(len(pts)))
+}
+
+// BBox is an axis-aligned bounding box.
+type BBox struct {
+	Min, Max Point
+}
+
+// EmptyBBox returns a bounding box that contains nothing and absorbs points
+// via Expand.
+func EmptyBBox() BBox {
+	inf := math.Inf(1)
+	return BBox{Min: Point{inf, inf}, Max: Point{-inf, -inf}}
+}
+
+// Expand grows b to include p and returns the result.
+func (b BBox) Expand(p Point) BBox {
+	if p.X < b.Min.X {
+		b.Min.X = p.X
+	}
+	if p.Y < b.Min.Y {
+		b.Min.Y = p.Y
+	}
+	if p.X > b.Max.X {
+		b.Max.X = p.X
+	}
+	if p.Y > b.Max.Y {
+		b.Max.Y = p.Y
+	}
+	return b
+}
+
+// Union returns the smallest box containing both b and o.
+func (b BBox) Union(o BBox) BBox { return b.Expand(o.Min).Expand(o.Max) }
+
+// Contains reports whether p lies inside or on the boundary of b.
+func (b BBox) Contains(p Point) bool {
+	return p.X >= b.Min.X-Eps && p.X <= b.Max.X+Eps &&
+		p.Y >= b.Min.Y-Eps && p.Y <= b.Max.Y+Eps
+}
+
+// Width returns the horizontal extent of b.
+func (b BBox) Width() float64 { return b.Max.X - b.Min.X }
+
+// Height returns the vertical extent of b.
+func (b BBox) Height() float64 { return b.Max.Y - b.Min.Y }
+
+// Center returns the center point of b.
+func (b BBox) Center() Point { return b.Min.Mid(b.Max) }
+
+// IsEmpty reports whether b contains no points.
+func (b BBox) IsEmpty() bool { return b.Min.X > b.Max.X || b.Min.Y > b.Max.Y }
+
+// Diagonal returns the length of the box diagonal.
+func (b BBox) Diagonal() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	return b.Min.Dist(b.Max)
+}
+
+// BBoxOf returns the bounding box of pts.
+func BBoxOf(pts []Point) BBox {
+	b := EmptyBBox()
+	for _, p := range pts {
+		b = b.Expand(p)
+	}
+	return b
+}

@@ -1,0 +1,200 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Point
+		want Point
+	}{
+		{"add", Pt(1, 2).Add(Pt(3, 4)), Pt(4, 6)},
+		{"sub", Pt(1, 2).Sub(Pt(3, 4)), Pt(-2, -2)},
+		{"scale", Pt(1, -2).Scale(3), Pt(3, -6)},
+		{"lerp mid", Pt(0, 0).Lerp(Pt(2, 4), 0.5), Pt(1, 2)},
+		{"lerp zero", Pt(5, 5).Lerp(Pt(9, 9), 0), Pt(5, 5)},
+		{"lerp one", Pt(5, 5).Lerp(Pt(9, 9), 1), Pt(9, 9)},
+		{"mid", Pt(0, 0).Mid(Pt(4, 2)), Pt(2, 1)},
+		{"rot90", Pt(1, 0).Rot90(), Pt(0, 1)},
+		{"rot90 y", Pt(0, 1).Rot90(), Pt(-1, 0)},
+		{"unit", Pt(3, 4).Unit(), Pt(0.6, 0.8)},
+		{"unit zero", Pt(0, 0).Unit(), Pt(0, 0)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !tt.got.Eq(tt.want) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPointScalarOps(t *testing.T) {
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"dot", Pt(1, 2).Dot(Pt(3, 4)), 11},
+		{"cross", Pt(1, 0).Cross(Pt(0, 1)), 1},
+		{"cross anti", Pt(0, 1).Cross(Pt(1, 0)), -1},
+		{"norm", Pt(3, 4).Norm(), 5},
+		{"norm2", Pt(3, 4).Norm2(), 25},
+		{"dist", Pt(1, 1).Dist(Pt(4, 5)), 5},
+		{"dist2", Pt(1, 1).Dist2(Pt(4, 5)), 25},
+		{"angle", Pt(0, 2).Angle(), math.Pi / 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if math.Abs(tt.got-tt.want) > Eps {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOrientation(t *testing.T) {
+	a, b := Pt(0, 0), Pt(1, 0)
+	tests := []struct {
+		name string
+		c    Point
+		want int
+	}{
+		{"ccw", Pt(0, 1), 1},
+		{"cw", Pt(0, -1), -1},
+		{"collinear ahead", Pt(2, 0), 0},
+		{"collinear behind", Pt(-1, 0), 0},
+		{"collinear on", Pt(0.5, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Orientation(a, b, tt.c); got != tt.want {
+				t.Errorf("Orientation(%v,%v,%v) = %d, want %d", a, b, tt.c, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestOrientationScaleInvariance(t *testing.T) {
+	// The predicate must give the same answer at meter and kilometer scales.
+	for _, s := range []float64{1e-3, 1, 1e3, 1e6} {
+		a, b, c := Pt(0, 0), Pt(s, 0), Pt(s/2, s/3)
+		if got := Orientation(a, b, c); got != 1 {
+			t.Errorf("scale %g: Orientation = %d, want 1", s, got)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	pts := []Point{Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2)}
+	if got := Centroid(pts); !got.Eq(Pt(1, 1)) {
+		t.Errorf("Centroid = %v, want (1,1)", got)
+	}
+}
+
+func TestCentroidPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Centroid of empty set did not panic")
+		}
+	}()
+	Centroid(nil)
+}
+
+func TestBBox(t *testing.T) {
+	b := EmptyBBox()
+	if !b.IsEmpty() {
+		t.Fatal("EmptyBBox not empty")
+	}
+	b = b.Expand(Pt(1, 2)).Expand(Pt(-1, 5))
+	if b.IsEmpty() {
+		t.Fatal("expanded box still empty")
+	}
+	if b.Min != Pt(-1, 2) || b.Max != Pt(1, 5) {
+		t.Errorf("box = %+v", b)
+	}
+	if got := b.Width(); got != 2 {
+		t.Errorf("Width = %v, want 2", got)
+	}
+	if got := b.Height(); got != 3 {
+		t.Errorf("Height = %v, want 3", got)
+	}
+	if got := b.Center(); !got.Eq(Pt(0, 3.5)) {
+		t.Errorf("Center = %v", got)
+	}
+	if !b.Contains(Pt(0, 3)) || b.Contains(Pt(2, 3)) {
+		t.Error("Contains misclassifies")
+	}
+	u := b.Union(BBox{Min: Pt(0, 0), Max: Pt(3, 3)})
+	if u.Min != Pt(-1, 0) || u.Max != Pt(3, 5) {
+		t.Errorf("Union = %+v", u)
+	}
+}
+
+func TestBBoxOf(t *testing.T) {
+	b := BBoxOf([]Point{Pt(3, 1), Pt(-2, 4), Pt(0, 0)})
+	if b.Min != Pt(-2, 0) || b.Max != Pt(3, 4) {
+		t.Errorf("BBoxOf = %+v", b)
+	}
+	if d := b.Diagonal(); math.Abs(d-math.Hypot(5, 4)) > Eps {
+		t.Errorf("Diagonal = %v", d)
+	}
+	if EmptyBBox().Diagonal() != 0 {
+		t.Error("empty box diagonal should be 0")
+	}
+}
+
+func TestPointIsFinite(t *testing.T) {
+	if !Pt(1, 2).IsFinite() {
+		t.Error("finite point reported non-finite")
+	}
+	if (Point{math.NaN(), 0}).IsFinite() {
+		t.Error("NaN point reported finite")
+	}
+	if (Point{0, math.Inf(1)}).IsFinite() {
+		t.Error("Inf point reported finite")
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestDistanceMetricProperties(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a, b, c := clampPt(ax, ay), clampPt(bx, by), clampPt(cx, cy)
+		if math.Abs(a.Dist(b)-b.Dist(a)) > 1e-12*(1+a.Dist(b)) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lerp stays on the segment: |a-lerp| + |lerp-b| == |a-b| for t in [0,1].
+func TestLerpOnSegment(t *testing.T) {
+	f := func(ax, ay, bx, by, traw float64) bool {
+		a, b := clampPt(ax, ay), clampPt(bx, by)
+		tt := math.Abs(math.Mod(traw, 1))
+		p := a.Lerp(b, tt)
+		return math.Abs(a.Dist(p)+p.Dist(b)-a.Dist(b)) <= 1e-9*(1+a.Dist(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// clampPt maps arbitrary quick-generated floats into a sane bounded range so
+// the geometric tolerances remain meaningful.
+func clampPt(x, y float64) Point {
+	c := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e3)
+	}
+	return Pt(c(x), c(y))
+}

@@ -1,0 +1,75 @@
+package geom
+
+import "math/rand"
+
+// SmallestEnclosingCircle computes the minimum enclosing circle of pts using
+// Welzl's randomized incremental algorithm [Welzl 1991], the method the
+// LAACAD paper prescribes for computing Chebyshev centers of dominating
+// regions (the Chebyshev center of a polygon is the center of the smallest
+// circle enclosing its vertices).
+//
+// The expected running time is O(n). rng drives the randomized insertion
+// order; passing a seeded source makes the computation deterministic. A nil
+// rng uses a fixed-seed source, so results are reproducible by default.
+//
+// Degenerate inputs are handled: an empty slice yields the zero circle and a
+// single point yields a zero-radius circle at that point.
+func SmallestEnclosingCircle(pts []Point, rng *rand.Rand) Circle {
+	switch len(pts) {
+	case 0:
+		return Circle{}
+	case 1:
+		return Circle{Center: pts[0]}
+	case 2:
+		return CircleFrom2(pts[0], pts[1])
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	shuffled := make([]Point, len(pts))
+	copy(shuffled, pts)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+
+	c := Circle{Center: shuffled[0]}
+	for i := 1; i < len(shuffled); i++ {
+		if !c.Contains(shuffled[i]) {
+			c = secWithOnePoint(shuffled[:i], shuffled[i])
+		}
+	}
+	return c
+}
+
+// secWithOnePoint returns the smallest circle enclosing pts that has q on
+// its boundary.
+func secWithOnePoint(pts []Point, q Point) Circle {
+	c := Circle{Center: q}
+	for i := 0; i < len(pts); i++ {
+		if !c.Contains(pts[i]) {
+			c = secWithTwoPoints(pts[:i], pts[i], q)
+		}
+	}
+	return c
+}
+
+// secWithTwoPoints returns the smallest circle enclosing pts that has both
+// q1 and q2 on its boundary.
+func secWithTwoPoints(pts []Point, q1, q2 Point) Circle {
+	c := CircleFrom2(q1, q2)
+	for i := 0; i < len(pts); i++ {
+		if !c.Contains(pts[i]) {
+			c = CircleFrom3(q1, q2, pts[i])
+		}
+	}
+	return c
+}
+
+// ChebyshevCenter returns the Chebyshev center (Definition 2 in the paper)
+// of the point set pts — the point minimizing the maximum distance to any
+// point of the set — together with that maximum distance. It is the center
+// and radius of the smallest enclosing circle.
+func ChebyshevCenter(pts []Point, rng *rand.Rand) (Point, float64) {
+	c := SmallestEnclosingCircle(pts, rng)
+	return c.Center, c.R
+}

@@ -1,0 +1,165 @@
+// Package localize builds per-node local coordinate systems from ranging
+// (pairwise distance) measurements only.
+//
+// The paper notes that LAACAD does not require global location information:
+// each node constructs a local coordinate system from ranging to nearby
+// nodes (it cites an MDS-based embedding [28]). Because every geometric
+// quantity LAACAD computes — bisectors, dominating regions, Chebyshev
+// centers, motion vectors — is equivariant under rigid motions, a frame that
+// is correct up to rotation, translation and reflection is exactly as good
+// as ground truth. This package implements the classical trilateration
+// construction of such a frame and the error metrics used to validate it.
+package localize
+
+import (
+	"fmt"
+	"math"
+
+	"laacad/internal/geom"
+)
+
+// Frame is a local coordinate system anchored at a center node: the center
+// maps to the origin and one reference neighbor defines the +x axis. Coords
+// holds the local position of every input node in input order.
+type Frame struct {
+	Coords []geom.Point
+}
+
+// Build constructs a local frame for the node at index center from the
+// pairwise distance oracle dist (dist(i, j) must return the measured
+// distance between nodes i and j; it is assumed symmetric). n is the number
+// of nodes (indices 0..n−1). axis is the neighbor placed on the +x axis and
+// witness a third non-collinear node that fixes the reflection.
+//
+// Build returns an error if the three anchors are (nearly) collinear or
+// coincident, or if some node's distances are geometrically inconsistent
+// beyond tolerance (negative squared coordinates are clamped).
+func Build(n, center, axis, witness int, dist func(i, j int) float64) (*Frame, error) {
+	if center == axis || center == witness || axis == witness {
+		return nil, fmt.Errorf("localize: anchors must be distinct (%d,%d,%d)", center, axis, witness)
+	}
+	dCA := dist(center, axis)
+	if dCA <= geom.Eps {
+		return nil, fmt.Errorf("localize: center and axis nodes coincide")
+	}
+	// Witness position from its distances to center and axis.
+	wx, wy2 := trilaterate1D(dist(center, witness), dist(axis, witness), dCA)
+	if wy2 <= geom.Eps {
+		return nil, fmt.Errorf("localize: witness is collinear with center and axis")
+	}
+	wy := math.Sqrt(wy2) // choose +y for the witness; this fixes chirality
+
+	coords := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		switch i {
+		case center:
+			coords[i] = geom.Pt(0, 0)
+		case axis:
+			coords[i] = geom.Pt(dCA, 0)
+		case witness:
+			coords[i] = geom.Pt(wx, wy)
+		default:
+			x, y2 := trilaterate1D(dist(center, i), dist(axis, i), dCA)
+			if y2 < 0 {
+				y2 = 0
+			}
+			y := math.Sqrt(y2)
+			// Resolve the sign of y with the distance to the witness.
+			dPlus := math.Abs(geom.Pt(x, y).Dist(geom.Pt(wx, wy)) - dist(witness, i))
+			dMinus := math.Abs(geom.Pt(x, -y).Dist(geom.Pt(wx, wy)) - dist(witness, i))
+			if dMinus < dPlus {
+				y = -y
+			}
+			coords[i] = geom.Pt(x, y)
+		}
+	}
+	return &Frame{Coords: coords}, nil
+}
+
+// trilaterate1D returns the x coordinate and squared y coordinate of a point
+// at distance dC from the origin and dA from (base, 0).
+func trilaterate1D(dC, dA, base float64) (x, y2 float64) {
+	x = (dC*dC - dA*dA + base*base) / (2 * base)
+	y2 = dC*dC - x*x
+	return x, y2
+}
+
+// RigidError returns the root-mean-square distance between the frame's
+// coordinates and the ground-truth positions after the best rigid alignment
+// (rotation + translation, with reflection allowed) — a Procrustes
+// residual. A frame built from exact distances has error ~0.
+func RigidError(frame *Frame, truth []geom.Point) float64 {
+	if len(frame.Coords) != len(truth) {
+		panic("localize: RigidError length mismatch")
+	}
+	n := len(truth)
+	if n == 0 {
+		return 0
+	}
+	ca := geom.Centroid(frame.Coords)
+	cb := geom.Centroid(truth)
+	// Cross-covariance of centered point sets.
+	var sxx, sxy, syx, syy float64
+	for i := 0; i < n; i++ {
+		a := frame.Coords[i].Sub(ca)
+		b := truth[i].Sub(cb)
+		sxx += a.X * b.X
+		sxy += a.X * b.Y
+		syx += a.Y * b.X
+		syy += a.Y * b.Y
+	}
+	best := math.Inf(1)
+	// Try both chiralities: rotation angle that maximizes trace for the
+	// direct and the reflected alignment.
+	for _, reflect := range []bool{false, rTrue} {
+		axx, axy, ayx, ayy := sxx, sxy, syx, syy
+		if reflect {
+			// Reflect frame across the x axis first: y -> -y.
+			ayx, ayy = -ayx, -ayy
+		}
+		theta := math.Atan2(axy-ayx, axx+ayy)
+		cos, sin := math.Cos(theta), math.Sin(theta)
+		var sum float64
+		for i := 0; i < n; i++ {
+			a := frame.Coords[i].Sub(ca)
+			if reflect {
+				a.Y = -a.Y
+			}
+			rot := geom.Pt(a.X*cos-a.Y*sin, a.X*sin+a.Y*cos)
+			b := truth[i].Sub(cb)
+			sum += rot.Dist2(b)
+		}
+		if rmse := math.Sqrt(sum / float64(n)); rmse < best {
+			best = rmse
+		}
+	}
+	return best
+}
+
+// rTrue exists to keep the reflection loop readable.
+const rTrue = true
+
+// DistanceOracle returns a pairwise-distance function over ground-truth
+// positions, optionally perturbed by multiplicative ranging noise of the
+// given relative magnitude using the deterministic hash-like jitter source
+// seed (noise = 0 gives exact ranging).
+func DistanceOracle(truth []geom.Point, noise float64, seed int64) func(i, j int) float64 {
+	return func(i, j int) float64 {
+		d := truth[i].Dist(truth[j])
+		if noise == 0 {
+			return d
+		}
+		// Deterministic symmetric jitter in [−noise, +noise] from a cheap
+		// integer hash of the unordered pair.
+		a, b := i, j
+		if a > b {
+			a, b = b, a
+		}
+		h := uint64(seed)*1099511628211 ^ uint64(a)*16777619 ^ uint64(b)*2166136261
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		frac := float64(h%1000000)/500000 - 1 // in [−1, 1)
+		return d * (1 + noise*frac)
+	}
+}

@@ -1,0 +1,155 @@
+package localize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"laacad/internal/geom"
+)
+
+func truthCloud(n int, rng *rand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	return pts
+}
+
+func TestBuildExactRanging(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	truth := truthCloud(12, rng)
+	oracle := DistanceOracle(truth, 0, 0)
+	frame, err := Build(len(truth), 0, 1, 2, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RigidError(frame, truth); got > 1e-6 {
+		t.Errorf("rigid error = %v, want ~0", got)
+	}
+	// Pairwise distances in the frame must match the oracle exactly.
+	for i := 0; i < len(truth); i++ {
+		d := frame.Coords[0].Dist(frame.Coords[i])
+		if math.Abs(d-oracle(0, i)) > 1e-9 {
+			t.Errorf("frame distance 0-%d = %v, oracle %v", i, d, oracle(0, i))
+		}
+	}
+	// Anchor layout: center at origin, axis on +x, witness in upper half.
+	if !frame.Coords[0].Eq(geom.Pt(0, 0)) {
+		t.Errorf("center not at origin: %v", frame.Coords[0])
+	}
+	if math.Abs(frame.Coords[1].Y) > 1e-9 || frame.Coords[1].X <= 0 {
+		t.Errorf("axis node not on +x: %v", frame.Coords[1])
+	}
+	if frame.Coords[2].Y <= 0 {
+		t.Errorf("witness not in upper half-plane: %v", frame.Coords[2])
+	}
+}
+
+func TestBuildRejectsBadAnchors(t *testing.T) {
+	truth := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(1, 1)}
+	oracle := DistanceOracle(truth, 0, 0)
+	if _, err := Build(4, 0, 0, 2, oracle); err == nil {
+		t.Error("duplicate anchors should error")
+	}
+	if _, err := Build(4, 0, 1, 2, oracle); err == nil {
+		t.Error("collinear witness should error")
+	}
+	coincident := []geom.Point{geom.Pt(0, 0), geom.Pt(0, 0), geom.Pt(1, 1)}
+	if _, err := Build(3, 0, 1, 2, DistanceOracle(coincident, 0, 0)); err == nil {
+		t.Error("coincident center/axis should error")
+	}
+}
+
+func TestBuildReflectedTruthStillAligns(t *testing.T) {
+	// The frame has arbitrary chirality; RigidError must align either way.
+	rng := rand.New(rand.NewSource(32))
+	truth := truthCloud(10, rng)
+	mirrored := make([]geom.Point, len(truth))
+	for i, p := range truth {
+		mirrored[i] = geom.Pt(-p.X, p.Y)
+	}
+	frame, err := Build(len(truth), 0, 1, 2, DistanceOracle(truth, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RigidError(frame, mirrored); got > 1e-6 {
+		t.Errorf("rigid error vs mirrored truth = %v, want ~0", got)
+	}
+}
+
+func TestBuildNoisyRanging(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	truth := truthCloud(15, rng)
+	frame, err := Build(len(truth), 0, 1, 2, DistanceOracle(truth, 0.01, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RigidError(frame, truth)
+	if got > 0.5 {
+		t.Errorf("1%% ranging noise produced rigid error %v", got)
+	}
+	if got == 0 {
+		t.Error("noisy ranging should not align perfectly")
+	}
+}
+
+func TestRigidErrorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RigidError(&Frame{Coords: make([]geom.Point, 2)}, make([]geom.Point, 3))
+}
+
+func TestRigidErrorEmpty(t *testing.T) {
+	if got := RigidError(&Frame{}, nil); got != 0 {
+		t.Errorf("empty rigid error = %v", got)
+	}
+}
+
+func TestDistanceOracleSymmetricDeterministic(t *testing.T) {
+	truth := truthCloud(8, rand.New(rand.NewSource(34)))
+	o := DistanceOracle(truth, 0.05, 99)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if math.Abs(o(i, j)-o(j, i)) > 1e-12 {
+				t.Fatalf("oracle asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	o2 := DistanceOracle(truth, 0.05, 99)
+	if o(1, 2) != o2(1, 2) {
+		t.Error("oracle not deterministic for same seed")
+	}
+	o3 := DistanceOracle(truth, 0.05, 100)
+	if o(1, 2) == o3(1, 2) {
+		t.Error("different seeds should perturb differently")
+	}
+}
+
+// Frames are rigid-motion equivalent: bisectors computed in a frame map to
+// the same separating sets as in ground truth. Spot-check via point-side
+// consistency.
+func TestFrameBisectorConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	truth := truthCloud(10, rng)
+	frame, err := Build(len(truth), 0, 1, 2, DistanceOracle(truth, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every pair (a, b) and every node v: v closer to a than b must be
+	// invariant between frames.
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			for v := 0; v < len(truth); v++ {
+				want := truth[v].Dist2(truth[a]) < truth[v].Dist2(truth[b])
+				got := frame.Coords[v].Dist2(frame.Coords[a]) < frame.Coords[v].Dist2(frame.Coords[b])
+				if want != got {
+					t.Fatalf("closer-relation flipped for v=%d a=%d b=%d", v, a, b)
+				}
+			}
+		}
+	}
+}

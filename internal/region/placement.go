@@ -1,0 +1,61 @@
+package region
+
+import (
+	"math/rand"
+
+	"laacad/internal/geom"
+)
+
+// Placement strategies for the initial node deployment. The paper's
+// convergence experiment (Fig. 5/6) starts all nodes at the bottom-left
+// corner; the load experiments (Fig. 7, Tables I–II) start from uniform
+// random deployments.
+
+// PlaceUniform returns n points sampled uniformly at random from the region.
+func PlaceUniform(r *Region, n int, rng *rand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = r.RandomPoint(rng)
+	}
+	return pts
+}
+
+// PlaceCorner returns n points packed into a small square patch of side
+// frac·min(width,height) anchored at the bottom-left corner of the region's
+// bounding box, jittered uniformly and clamped into the region. This matches
+// the paper's Fig. 5(a) initial deployment.
+func PlaceCorner(r *Region, n int, frac float64, rng *rand.Rand) []geom.Point {
+	if frac <= 0 {
+		frac = 0.1
+	}
+	b := r.BBox()
+	side := frac * minF(b.Width(), b.Height())
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := geom.Pt(
+			b.Min.X+rng.Float64()*side,
+			b.Min.Y+rng.Float64()*side,
+		)
+		pts[i] = r.ClampInside(p)
+	}
+	return pts
+}
+
+// PlaceGaussianCluster returns n points from a clipped Gaussian cloud around
+// center with standard deviation sigma, clamped into the region. Useful for
+// modeling an air-drop style initial deployment.
+func PlaceGaussianCluster(r *Region, n int, center geom.Point, sigma float64, rng *rand.Rand) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := geom.Pt(center.X+rng.NormFloat64()*sigma, center.Y+rng.NormFloat64()*sigma)
+		pts[i] = r.ClampInside(p)
+	}
+	return pts
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

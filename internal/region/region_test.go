@@ -1,0 +1,370 @@
+package region
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"laacad/internal/geom"
+)
+
+func TestRectRegionBasics(t *testing.T) {
+	r := Rect(0, 0, 2, 1)
+	if math.Abs(r.Area()-2) > 1e-9 {
+		t.Errorf("Area = %v, want 2", r.Area())
+	}
+	if !r.Contains(geom.Pt(1, 0.5)) {
+		t.Error("interior point not contained")
+	}
+	if r.Contains(geom.Pt(3, 0.5)) {
+		t.Error("exterior point contained")
+	}
+	if !r.Contains(geom.Pt(0, 0)) {
+		t.Error("corner should be contained")
+	}
+	b := r.BBox()
+	if b.Min != geom.Pt(0, 0) || b.Max != geom.Pt(2, 1) {
+		t.Errorf("BBox = %+v", b)
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(geom.Polygon{geom.Pt(0, 0), geom.Pt(1, 1)}); err == nil {
+		t.Error("expected error for 2-vertex outer")
+	}
+	if _, err := New(geom.Polygon{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0)}); err == nil {
+		t.Error("expected error for zero-area outer")
+	}
+	sq := geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)})
+	nonConvexHole := geom.Polygon{
+		geom.Pt(0.2, 0.2), geom.Pt(0.8, 0.2), geom.Pt(0.8, 0.8),
+		geom.Pt(0.5, 0.4), geom.Pt(0.2, 0.8),
+	}
+	if _, err := New(sq, nonConvexHole); err == nil {
+		t.Error("expected error for non-convex hole")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on bad input")
+		}
+	}()
+	MustNew(nil)
+}
+
+func TestRegionWithHole(t *testing.T) {
+	hole := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.25, 0.25), Max: geom.Pt(0.75, 0.75)})
+	r := MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), hole)
+	if math.Abs(r.Area()-0.75) > 1e-9 {
+		t.Errorf("Area = %v, want 0.75", r.Area())
+	}
+	if r.Contains(geom.Pt(0.5, 0.5)) {
+		t.Error("hole interior should not be contained")
+	}
+	if !r.Contains(geom.Pt(0.1, 0.1)) {
+		t.Error("point outside hole should be contained")
+	}
+	if !r.Contains(geom.Pt(0.25, 0.5)) {
+		t.Error("hole boundary should count as inside the region")
+	}
+	// Pieces must be disjoint and sum to the region area.
+	var sum float64
+	for _, p := range r.Pieces() {
+		sum += p.Area()
+	}
+	if math.Abs(sum-r.Area()) > 1e-9 {
+		t.Errorf("piece areas sum to %v, want %v", sum, r.Area())
+	}
+}
+
+func TestRegionWithOverlappingHoles(t *testing.T) {
+	h1 := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.2, 0.2), Max: geom.Pt(0.6, 0.6)})
+	h2 := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.4, 0.4), Max: geom.Pt(0.8, 0.8)})
+	r := MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), h1, h2)
+	// Union of holes: 0.16 + 0.16 − 0.04 = 0.28.
+	if math.Abs(r.Area()-0.72) > 1e-9 {
+		t.Errorf("Area = %v, want 0.72", r.Area())
+	}
+	if r.Contains(geom.Pt(0.5, 0.5)) {
+		t.Error("overlap interior should be excluded")
+	}
+}
+
+func TestLShape(t *testing.T) {
+	r := LShape()
+	if math.Abs(r.Area()-0.75) > 1e-9 {
+		t.Errorf("LShape area = %v, want 0.75", r.Area())
+	}
+	if r.Contains(geom.Pt(0.75, 0.75)) {
+		t.Error("removed quadrant should be outside")
+	}
+	if !r.Contains(geom.Pt(0.25, 0.75)) || !r.Contains(geom.Pt(0.75, 0.25)) {
+		t.Error("L arms should be inside")
+	}
+}
+
+func TestCross(t *testing.T) {
+	r := Cross()
+	// Cross area: vertical bar 0.4×1 + horizontal bar 0.4×1 − center 0.4×0.4
+	want := 0.4 + 0.4 - 0.16
+	if math.Abs(r.Area()-want) > 1e-9 {
+		t.Errorf("Cross area = %v, want %v", r.Area(), want)
+	}
+	if r.Contains(geom.Pt(0.1, 0.1)) {
+		t.Error("cross corner notch should be outside")
+	}
+	if !r.Contains(geom.Pt(0.5, 0.9)) {
+		t.Error("top arm should be inside")
+	}
+}
+
+func TestFig8Regions(t *testing.T) {
+	r1 := SquareWithCircularObstacle(geom.Pt(0.5, 0.5), 0.15)
+	if !(r1.Area() < 1) || !(r1.Area() > 0.9) {
+		t.Errorf("circular obstacle area = %v", r1.Area())
+	}
+	if r1.Contains(geom.Pt(0.5, 0.5)) {
+		t.Error("obstacle center should be excluded")
+	}
+	r2 := SquareWithTwoObstacles()
+	if r2.Contains(geom.Pt(0.3, 0.65)) || r2.Contains(geom.Pt(0.7, 0.3)) {
+		t.Error("obstacle interiors should be excluded")
+	}
+	if !r2.Contains(geom.Pt(0.05, 0.05)) {
+		t.Error("free space should be included")
+	}
+}
+
+func TestClipConvexToRegion(t *testing.T) {
+	hole := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.4, 0.4), Max: geom.Pt(0.6, 0.6)})
+	r := MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), hole)
+	// A cell covering the middle of the region: its clip must exclude the hole.
+	cell := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.3, 0.3), Max: geom.Pt(0.7, 0.7)})
+	pieces := r.ClipConvex(cell)
+	var area float64
+	for _, p := range pieces {
+		area += p.Area()
+		c := p.Centroid()
+		if !r.Contains(c) {
+			t.Errorf("piece centroid %v outside region", c)
+		}
+	}
+	want := 0.16 - 0.04 // cell area minus hole area
+	if math.Abs(area-want) > 1e-9 {
+		t.Errorf("clipped area = %v, want %v", area, want)
+	}
+	// Cell fully outside the region.
+	if pieces := r.ClipConvex(geom.RectPolygon(geom.BBox{Min: geom.Pt(2, 2), Max: geom.Pt(3, 3)})); len(pieces) != 0 {
+		t.Errorf("expected no pieces, got %d", len(pieces))
+	}
+	// Degenerate cell.
+	if pieces := r.ClipConvex(geom.Polygon{geom.Pt(0, 0)}); pieces != nil {
+		t.Error("degenerate cell should clip to nil")
+	}
+}
+
+func TestDistToBoundary(t *testing.T) {
+	r := Rect(0, 0, 1, 1)
+	if d := r.DistToBoundary(geom.Pt(0.5, 0.5)); math.Abs(d-0.5) > 1e-9 {
+		t.Errorf("center dist = %v, want 0.5", d)
+	}
+	if d := r.DistToBoundary(geom.Pt(0.1, 0.5)); math.Abs(d-0.1) > 1e-9 {
+		t.Errorf("near-left dist = %v, want 0.1", d)
+	}
+	hole := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.4, 0.4), Max: geom.Pt(0.6, 0.6)})
+	rh := MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), hole)
+	if d := rh.DistToBoundary(geom.Pt(0.35, 0.5)); math.Abs(d-0.05) > 1e-9 {
+		t.Errorf("near-hole dist = %v, want 0.05", d)
+	}
+}
+
+func TestClampInside(t *testing.T) {
+	hole := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.4, 0.4), Max: geom.Pt(0.6, 0.6)})
+	r := MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), hole)
+	// Inside point unchanged.
+	p := geom.Pt(0.2, 0.2)
+	if got := r.ClampInside(p); !got.Eq(p) {
+		t.Errorf("inside point moved to %v", got)
+	}
+	// Point in hole moves to hole boundary.
+	got := r.ClampInside(geom.Pt(0.5, 0.5))
+	if !r.Contains(got) {
+		t.Errorf("clamped point %v not in region", got)
+	}
+	if d := got.Dist(geom.Pt(0.5, 0.5)); d > 0.15 {
+		t.Errorf("clamp moved too far: %v", d)
+	}
+	// Point outside the outer boundary.
+	got = r.ClampInside(geom.Pt(1.5, 0.5))
+	if !r.Contains(got) || got.Dist(geom.Pt(1, 0.5)) > 1e-6 {
+		t.Errorf("outside clamp got %v", got)
+	}
+}
+
+func TestRandomPointUniformity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	hole := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.25, 0.25), Max: geom.Pt(0.75, 0.75)})
+	r := MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), hole)
+	const n = 20000
+	var leftHalf int
+	for i := 0; i < n; i++ {
+		p := r.RandomPoint(rng)
+		if !r.Contains(p) {
+			t.Fatalf("sampled point %v outside region", p)
+		}
+		if p.X < 0.5 {
+			leftHalf++
+		}
+	}
+	// By symmetry, half the mass is on each side; allow 3% slack.
+	frac := float64(leftHalf) / n
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("left-half fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	r := Rect(0, 0, 1, 1)
+	pts := r.GridPoints(10)
+	if len(pts) != 100 {
+		t.Errorf("grid on square: %d points, want 100", len(pts))
+	}
+	hole := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.25, 0.25), Max: geom.Pt(0.75, 0.75)})
+	rh := MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), hole)
+	ptsH := rh.GridPoints(20)
+	for _, p := range ptsH {
+		if !rh.Contains(p) {
+			t.Fatalf("grid point %v outside region", p)
+		}
+	}
+	wantFrac := rh.Area()
+	gotFrac := float64(len(ptsH)) / 400
+	if math.Abs(gotFrac-wantFrac) > 0.05 {
+		t.Errorf("grid fraction = %v, want ~%v", gotFrac, wantFrac)
+	}
+	// Resolution below 2 is clamped.
+	if len(r.GridPoints(1)) != 4 {
+		t.Errorf("clamped resolution should give 2x2 grid")
+	}
+}
+
+func TestTriangulate(t *testing.T) {
+	tests := []struct {
+		name string
+		poly geom.Polygon
+		want float64
+	}{
+		{"square", geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), 1},
+		{"triangle", geom.Polygon{geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(0, 1)}, 0.5},
+		{"L-shape", geom.Polygon{
+			geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 0.5),
+			geom.Pt(0.5, 0.5), geom.Pt(0.5, 1), geom.Pt(0, 1),
+		}, 0.75},
+		{"cross", Cross().Outer(), 0.64},
+		{"spiky", geom.Polygon{
+			geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 1), geom.Pt(3, 1),
+			geom.Pt(3, 0.5), geom.Pt(2, 0.5), geom.Pt(2, 1), geom.Pt(0, 1),
+		}, 3.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tris, err := Triangulate(tt.poly.Clone().EnsureCCW())
+			if err != nil {
+				t.Fatalf("Triangulate: %v", err)
+			}
+			var sum float64
+			for _, tr := range tris {
+				if len(tr) != 3 {
+					t.Fatalf("non-triangle piece: %v", tr)
+				}
+				sum += tr.Area()
+			}
+			if math.Abs(sum-tt.want) > 1e-9 {
+				t.Errorf("triangle areas sum to %v, want %v", sum, tt.want)
+			}
+		})
+	}
+}
+
+func TestTriangulateErrors(t *testing.T) {
+	if _, err := Triangulate(geom.Polygon{geom.Pt(0, 0), geom.Pt(1, 1)}); err == nil {
+		t.Error("expected error for < 3 vertices")
+	}
+}
+
+func TestPlaceUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := UnitSquareKm()
+	pts := PlaceUniform(r, 50, rng)
+	if len(pts) != 50 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+	}
+}
+
+func TestPlaceCorner(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := UnitSquareKm()
+	pts := PlaceCorner(r, 100, 0.1, rng)
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+		if p.X > 0.1+1e-9 || p.Y > 0.1+1e-9 {
+			t.Fatalf("point %v outside corner patch", p)
+		}
+	}
+	// Zero frac falls back to default.
+	pts = PlaceCorner(r, 10, 0, rng)
+	for _, p := range pts {
+		if p.X > 0.1+1e-9 {
+			t.Fatalf("default frac: point %v outside patch", p)
+		}
+	}
+}
+
+func TestPlaceGaussianCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r := UnitSquareKm()
+	pts := PlaceGaussianCluster(r, 200, geom.Pt(0.5, 0.5), 0.05, rng)
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Fatalf("point %v outside region", p)
+		}
+	}
+	c := geom.Centroid(pts)
+	if c.Dist(geom.Pt(0.5, 0.5)) > 0.05 {
+		t.Errorf("cluster centroid %v far from center", c)
+	}
+}
+
+// Property: for random convex cells, the clipped pieces always lie inside
+// the region and their total area never exceeds the cell area.
+func TestClipConvexInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	r := SquareWithTwoObstacles()
+	for trial := 0; trial < 100; trial++ {
+		c := geom.Circle{
+			Center: geom.Pt(rng.Float64()*1.2-0.1, rng.Float64()*1.2-0.1),
+			R:      0.05 + rng.Float64()*0.3,
+		}
+		cell := geom.RegularPolygon(c, 8, rng.Float64())
+		pieces := r.ClipConvex(cell)
+		var sum float64
+		for _, p := range pieces {
+			sum += p.Area()
+			if !r.Contains(p.Centroid()) {
+				t.Fatalf("trial %d: piece centroid outside region", trial)
+			}
+		}
+		if sum > cell.Area()+1e-9 {
+			t.Fatalf("trial %d: clipped area %v > cell area %v", trial, sum, cell.Area())
+		}
+	}
+}

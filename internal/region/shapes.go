@@ -1,0 +1,47 @@
+package region
+
+import (
+	"math"
+
+	"laacad/internal/geom"
+)
+
+// Prefabricated regions matching the scenarios in the paper's evaluation.
+// Coordinates are in km; the nominal scale is the paper's 1 km² area.
+
+// LShape returns an L-shaped region (a 1×1 square with the top-right
+// quadrant removed) — a simple non-convex outline for adaptability tests.
+func LShape() *Region {
+	return MustNew(geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(1, 0.5),
+		geom.Pt(0.5, 0.5), geom.Pt(0.5, 1), geom.Pt(0, 1),
+	})
+}
+
+// Cross returns a plus/cross-shaped region inscribed in the unit square,
+// with arm width 0.4.
+func Cross() *Region {
+	const lo, hi = 0.3, 0.7
+	return MustNew(geom.Polygon{
+		geom.Pt(lo, 0), geom.Pt(hi, 0), geom.Pt(hi, lo), geom.Pt(1, lo),
+		geom.Pt(1, hi), geom.Pt(hi, hi), geom.Pt(hi, 1), geom.Pt(lo, 1),
+		geom.Pt(lo, hi), geom.Pt(0, hi), geom.Pt(0, lo), geom.Pt(lo, lo),
+	})
+}
+
+// SquareWithCircularObstacle returns the unit square with a regular-polygon
+// approximation of a circular obstacle of radius r at center c — the
+// "Initial deployment I" scenario family of Fig. 8.
+func SquareWithCircularObstacle(c geom.Point, r float64) *Region {
+	hole := geom.RegularPolygon(geom.Circle{Center: c, R: r}, 24, math.Pi/24)
+	return MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), hole)
+}
+
+// SquareWithTwoObstacles returns the unit square with two convex obstacles
+// (one circular-ish, one rectangular) — the "Initial deployment II" scenario
+// family of Fig. 8.
+func SquareWithTwoObstacles() *Region {
+	circ := geom.RegularPolygon(geom.Circle{Center: geom.Pt(0.3, 0.65), R: 0.12}, 20, 0)
+	rect := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.6, 0.2), Max: geom.Pt(0.85, 0.45)})
+	return MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), circ, rect)
+}

@@ -1,0 +1,125 @@
+package region
+
+import (
+	"fmt"
+
+	"laacad/internal/geom"
+)
+
+// Triangulate decomposes a simple CCW polygon into triangles using the
+// ear-clipping algorithm (O(n²)). It returns an error if the polygon is
+// degenerate or no ear can be found, which indicates a self-intersecting
+// input.
+func Triangulate(poly geom.Polygon) ([]geom.Polygon, error) {
+	n := len(poly)
+	if n < 3 {
+		return nil, fmt.Errorf("region: cannot triangulate polygon with %d vertices", n)
+	}
+	if n == 3 {
+		return []geom.Polygon{poly.Clone()}, nil
+	}
+	// Work on an index list into the original vertices.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	tris := make([]geom.Polygon, 0, n-2)
+	guard := 0
+	for len(idx) > 3 {
+		guard++
+		if guard > 2*n*n {
+			return nil, fmt.Errorf("region: ear clipping did not terminate (self-intersecting polygon?)")
+		}
+		clipped := false
+		for i := 0; i < len(idx); i++ {
+			prev := idx[(i-1+len(idx))%len(idx)]
+			cur := idx[i]
+			next := idx[(i+1)%len(idx)]
+			a, b, c := poly[prev], poly[cur], poly[next]
+			if geom.Orientation(a, b, c) <= 0 {
+				continue // reflex or collinear vertex: not an ear
+			}
+			if earContainsOther(poly, idx, prev, cur, next) {
+				continue
+			}
+			if !diagonalValid(poly, idx, prev, next) {
+				continue
+			}
+			tris = append(tris, geom.Polygon{a, b, c})
+			idx = append(idx[:i], idx[i+1:]...)
+			clipped = true
+			break
+		}
+		if !clipped {
+			// Fallback: drop a collinear vertex if one exists (it contributes
+			// no area), otherwise report failure.
+			dropped := false
+			for i := 0; i < len(idx); i++ {
+				prev := idx[(i-1+len(idx))%len(idx)]
+				cur := idx[i]
+				next := idx[(i+1)%len(idx)]
+				if geom.Orientation(poly[prev], poly[cur], poly[next]) == 0 {
+					idx = append(idx[:i], idx[i+1:]...)
+					dropped = true
+					break
+				}
+			}
+			if !dropped {
+				return nil, fmt.Errorf("region: no ear found (self-intersecting polygon?)")
+			}
+		}
+	}
+	last := geom.Polygon{poly[idx[0]], poly[idx[1]], poly[idx[2]]}
+	if last.Area() > geom.Eps {
+		tris = append(tris, last)
+	}
+	return tris, nil
+}
+
+// earContainsOther reports whether any remaining polygon vertex lies inside
+// the closed candidate ear triangle (prev, cur, next). Points exactly on the
+// triangle boundary also block the ear: a reflex vertex touching the ear
+// diagonal would otherwise let the diagonal escape the polygon.
+func earContainsOther(poly geom.Polygon, idx []int, prev, cur, next int) bool {
+	a, b, c := poly[prev], poly[cur], poly[next]
+	for _, j := range idx {
+		if j == prev || j == cur || j == next {
+			continue
+		}
+		p := poly[j]
+		if geom.Orientation(a, b, p) >= 0 &&
+			geom.Orientation(b, c, p) >= 0 &&
+			geom.Orientation(c, a, p) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// diagonalValid reports whether the candidate ear diagonal prev–next stays
+// inside the remaining polygon: it must not properly cross any non-adjacent
+// remaining edge (guards against thin spikes slicing through the ear with
+// both endpoints outside the triangle) and its midpoint must be interior.
+func diagonalValid(poly geom.Polygon, idx []int, prev, next int) bool {
+	a, c := poly[prev], poly[next]
+	m := len(idx)
+	for i := 0; i < m; i++ {
+		e1, e2 := idx[i], idx[(i+1)%m]
+		if e1 == prev || e1 == next || e2 == prev || e2 == next {
+			continue
+		}
+		if p, ok := geom.SegmentIntersection(a, c, poly[e1], poly[e2]); ok {
+			// Shared endpoints were excluded above, so any hit is a proper
+			// crossing unless it is a grazing touch at a/c themselves.
+			if !p.Eq(a) && !p.Eq(c) {
+				return false
+			}
+		}
+	}
+	// Midpoint must be inside the remaining sub-polygon.
+	remaining := make(geom.Polygon, 0, m)
+	for _, j := range idx {
+		remaining = append(remaining, poly[j])
+	}
+	return remaining.Contains(a.Mid(c))
+}

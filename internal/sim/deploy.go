@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"laacad/internal/core"
+	"laacad/internal/geom"
+	"laacad/internal/region"
+	"laacad/internal/voronoi"
+	"laacad/internal/wsn"
+)
+
+// Config parameterizes an asynchronous LAACAD deployment.
+type Config struct {
+	// K is the coverage order.
+	K int
+	// Alpha is the per-activation step size in (0, 1].
+	Alpha float64
+	// Epsilon is the stopping tolerance (distance to the Chebyshev center).
+	Epsilon float64
+	// Tau is the activation period in seconds (the paper's "every τ ms").
+	Tau float64
+	// Jitter is the uniform activation-period jitter as a fraction of Tau
+	// (e.g. 0.1 → periods in [0.9τ, 1.1τ]). Zero means 0.1; clocks never
+	// align exactly, which is the point of the asynchronous model.
+	Jitter float64
+	// Speed is the maximum motion speed in region units per second. Zero
+	// means effectively unbounded (a node reaches its target within one
+	// activation period).
+	Speed float64
+	// MaxTime caps the simulated duration in seconds.
+	MaxTime float64
+	// StableActivations is the number of consecutive no-move activations
+	// after which a node is considered settled (default 3). The deployment
+	// converges when every node is settled.
+	StableActivations int
+	// Seed drives activation jitter and the randomized geometry.
+	Seed int64
+}
+
+// DefaultConfig mirrors core.DefaultConfig for the asynchronous setting.
+func DefaultConfig(k int) Config {
+	return Config{
+		K:       k,
+		Alpha:   0.5,
+		Epsilon: 1e-4,
+		Tau:     1.0,
+		MaxTime: 2000,
+	}
+}
+
+func (c *Config) validate(n int) error {
+	if c.K < 1 || n < c.K {
+		return fmt.Errorf("sim: need K >= 1 and at least K nodes (K=%d, n=%d)", c.K, n)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("sim: Alpha must be in (0, 1], got %v", c.Alpha)
+	}
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("sim: Epsilon must be positive, got %v", c.Epsilon)
+	}
+	if c.Tau <= 0 {
+		return fmt.Errorf("sim: Tau must be positive, got %v", c.Tau)
+	}
+	if c.MaxTime <= 0 {
+		return fmt.Errorf("sim: MaxTime must be positive, got %v", c.MaxTime)
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("sim: Jitter must be in [0, 1), got %v", c.Jitter)
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.1
+	}
+	if c.StableActivations == 0 {
+		c.StableActivations = 3
+	}
+	return nil
+}
+
+// Result is the outcome of an asynchronous deployment.
+type Result struct {
+	// Positions and Radii are the final deployment (as in core.Result).
+	Positions []geom.Point
+	Radii     []float64
+	// Time is the simulated time at which the run ended.
+	Time float64
+	// Activations is the total number of node activations executed.
+	Activations int64
+	// Converged reports whether every node settled before MaxTime.
+	Converged bool
+	// TotalTravel is the summed path length driven by all nodes — with
+	// finite speed this is the real motion cost of the deployment.
+	TotalTravel float64
+}
+
+// MaxRadius returns the paper's objective R = max_i r_i.
+func (r *Result) MaxRadius() float64 {
+	var m float64
+	for _, v := range r.Radii {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Deployment is an asynchronous LAACAD run in progress.
+type Deployment struct {
+	sim  *Sim
+	reg  *region.Region
+	net  *wsn.Network
+	cfg  Config
+	rng  *rand.Rand
+	chey *rand.Rand
+
+	targets     []geom.Point
+	lastAdvance []float64
+	stable      []int
+	settled     int
+	activations int64
+	travel      float64
+}
+
+// NewDeployment prepares an asynchronous deployment of the given initial
+// positions over reg.
+func NewDeployment(reg *region.Region, initial []geom.Point, cfg Config) (*Deployment, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("sim: nil region")
+	}
+	if err := cfg.validate(len(initial)); err != nil {
+		return nil, err
+	}
+	pos := make([]geom.Point, len(initial))
+	for i, p := range initial {
+		pos[i] = reg.ClampInside(p)
+	}
+	d := &Deployment{
+		sim:         &Sim{},
+		reg:         reg,
+		net:         wsn.New(pos, reg.BBox().Diagonal()/8),
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed + 11)),
+		chey:        rand.New(rand.NewSource(cfg.Seed + 13)),
+		targets:     append([]geom.Point(nil), pos...),
+		lastAdvance: make([]float64, len(initial)),
+		stable:      make([]int, len(initial)),
+	}
+	// Stagger first activations uniformly across one period so the system
+	// never starts in lock-step.
+	for i := range pos {
+		i := i
+		d.sim.Schedule(d.rng.Float64()*cfg.Tau, func() { d.activate(i) })
+	}
+	return d, nil
+}
+
+// activate is one node's periodic action: advance along the current motion
+// segment, recompute the dominating region from the *current* (possibly
+// stale-looking) neighbor positions, retarget, and reschedule.
+func (d *Deployment) activate(i int) {
+	d.activations++
+	d.advance(i)
+
+	polys := core.CentralizedDominatingRegion(d.net, d.reg, i, d.cfg.K)
+	if len(polys) > 0 {
+		c, _ := geom.ChebyshevCenter(voronoi.Vertices(polys), d.chey)
+		c = d.reg.ClampInside(c)
+		ui := d.net.Position(i)
+		if ui.Dist(c) > d.cfg.Epsilon {
+			target := ui.Add(c.Sub(ui).Scale(d.cfg.Alpha))
+			d.targets[i] = d.reg.ClampInside(target)
+			if d.stable[i] >= d.cfg.StableActivations {
+				d.settled--
+			}
+			d.stable[i] = 0
+		} else {
+			d.targets[i] = ui
+			d.stable[i]++
+			if d.stable[i] == d.cfg.StableActivations {
+				d.settled++
+				if d.settled == d.net.Len() {
+					d.sim.Halt()
+					return
+				}
+			}
+		}
+	}
+
+	period := d.cfg.Tau * (1 + d.cfg.Jitter*(2*d.rng.Float64()-1))
+	d.sim.Schedule(period, func() { d.activate(i) })
+}
+
+// advance moves node i along its motion segment according to the elapsed
+// time and the speed limit.
+func (d *Deployment) advance(i int) {
+	now := d.sim.Now()
+	dt := now - d.lastAdvance[i]
+	d.lastAdvance[i] = now
+	ui := d.net.Position(i)
+	seg := d.targets[i].Sub(ui)
+	dist := seg.Norm()
+	if dist < 1e-15 {
+		return
+	}
+	reach := dist
+	if d.cfg.Speed > 0 {
+		if maxStep := d.cfg.Speed * dt; maxStep < reach {
+			reach = maxStep
+		}
+	}
+	step := seg.Scale(reach / dist)
+	d.travel += reach
+	d.net.SetPosition(i, d.reg.ClampInside(ui.Add(step)))
+}
+
+// Run executes the deployment until convergence or MaxTime and returns the
+// result with final sensing ranges.
+func (d *Deployment) Run() (*Result, error) {
+	d.sim.Run(d.cfg.MaxTime)
+	n := d.net.Len()
+	radii := make([]float64, n)
+	for i := 0; i < n; i++ {
+		polys := core.CentralizedDominatingRegion(d.net, d.reg, i, d.cfg.K)
+		radii[i] = voronoi.MaxDistFrom(d.net.Position(i), polys)
+	}
+	return &Result{
+		Positions:   d.net.Positions(),
+		Radii:       radii,
+		Time:        d.sim.Now(),
+		Activations: d.activations,
+		Converged:   d.settled == n,
+		TotalTravel: d.travel,
+	}, nil
+}
+
+// Deploy is the one-call asynchronous entry point.
+func Deploy(reg *region.Region, initial []geom.Point, cfg Config) (*Result, error) {
+	d, err := NewDeployment(reg, initial, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return d.Run()
+}

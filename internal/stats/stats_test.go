@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	// Sample std of this classic sample is sqrt(32/7).
+	if math.Abs(s.Std-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("range [%v, %v]", s.Min, s.Max)
+	}
+	if math.Abs(s.Median-4.5) > 1e-12 {
+		t.Errorf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Error("empty sample should be zero summary")
+	}
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Std != 0 || s.Median != 3 || s.P10 != 3 || s.P90 != 3 {
+		t.Errorf("single sample: %+v", s)
+	}
+	z := Summarize([]float64{0, 0, 0})
+	if z.CoefficientVar != 0 {
+		t.Error("zero-mean CV should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Properties: mean within [min, max]; shift invariance of std; scale
+// equivariance of mean.
+func TestSummaryProperties(t *testing.T) {
+	sanitize := func(xs []float64) []float64 {
+		out := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				out = append(out, math.Mod(x, 1e6))
+			}
+		}
+		return out
+	}
+	f := func(raw []float64, shift float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 2 {
+			return true
+		}
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			shift = 1
+		}
+		shift = math.Mod(shift, 1e6)
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		s2 := Summarize(shifted)
+		scale := 1 + math.Abs(s.Std)
+		return math.Abs(s2.Std-s.Std) < 1e-6*scale &&
+			math.Abs(s2.Mean-(s.Mean+shift)) < 1e-6*(1+math.Abs(s.Mean+shift))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1, 2, 3}).String() == "" {
+		t.Error("String should render")
+	}
+}

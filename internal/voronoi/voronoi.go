@@ -1,0 +1,361 @@
+// Package voronoi computes 1-order and k-order (higher-order) Voronoi
+// diagrams clipped to a target region, plus per-node dominating regions —
+// the geometric core of LAACAD.
+//
+// Two independent algorithms are provided:
+//
+//   - DominatingRegion computes a single node's dominating region V^k_{n_i}
+//     directly from Proposition 1 of the paper: the set of points for which
+//     at most k−1 other generators are closer. It splits region pieces by
+//     one bisector at a time, tracking the remaining "closer" budget — a
+//     depth-bounded half-plane arrangement walk whose output is a set of
+//     disjoint convex polygons. This is what the distributed algorithm runs,
+//     since it needs only the node's own neighborhood.
+//
+//   - KOrderDiagram computes the full k-order Voronoi partition of the
+//     region by Lee-style iterative refinement: the order-(j+1) diagram is
+//     obtained by subdividing each order-j cell with the 1-order diagram of
+//     the non-generators. This is the centralized/global structure used for
+//     Fig. 1 and for cross-validating the direct algorithm.
+//
+// Ties (coincident generators) are broken by generator index: the lower
+// index counts as closer. This keeps both algorithms consistent when many
+// mobile nodes start stacked in a corner (Fig. 5(a)).
+package voronoi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"laacad/internal/geom"
+	"laacad/internal/region"
+)
+
+// Site is a Voronoi generator: a sensor node position tagged with its
+// stable index in the network.
+type Site struct {
+	ID  int
+	Pos geom.Point
+}
+
+// coincidentTol is the squared distance below which two generators are
+// considered coincident and index tie-breaking applies.
+const coincidentTol = 1e-24
+
+// DominatingRegion returns the dominating region of self among the given
+// other generators, clipped to the polygons in clip, as a set of disjoint
+// convex pieces. k is the coverage order (k ≥ 1): a point belongs to the
+// region iff fewer than k of the others are closer to it than self
+// (Proposition 1). The clip polygons are typically the region's convex
+// pieces, or those pieces further clipped to a search disk in the localized
+// algorithm.
+//
+// The others slice may contain self's ID; it is ignored.
+func DominatingRegion(self Site, others []Site, k int, clip []geom.Polygon) []geom.Polygon {
+	if k < 1 {
+		panic(fmt.Sprintf("voronoi: DominatingRegion needs k >= 1, got %d", k))
+	}
+	// Sort others by distance to self: nearer bisectors cut away more area
+	// early, which prunes the recursion fastest.
+	rel := make([]Site, 0, len(others))
+	for _, o := range others {
+		if o.ID == self.ID {
+			continue
+		}
+		rel = append(rel, o)
+	}
+	sort.Slice(rel, func(a, b int) bool {
+		da := rel[a].Pos.Dist2(self.Pos)
+		db := rel[b].Pos.Dist2(self.Pos)
+		if da != db {
+			return da < db
+		}
+		return rel[a].ID < rel[b].ID
+	})
+
+	var out []geom.Polygon
+	for _, piece := range clip {
+		splitByBudget(self, rel, 0, k-1, piece, &out)
+	}
+	return out
+}
+
+// splitByBudget recursively splits poly by the bisector against others[j...],
+// keeping track of how many "closer" generators (budget) the current branch
+// may still tolerate. Polygons that survive all splits belong to the
+// dominating region.
+//
+// others must be sorted by ascending distance to self: once a neighbor's
+// distance d satisfies d ≥ 2·max_{v∈poly}‖v−self‖, every point of poly is at
+// least as close to self as to that neighbor (‖v−o‖ ≥ d − d/2 = d/2 ≥
+// ‖v−self‖), so neither it nor any farther neighbor can cut the polygon —
+// the loop stops early. This prunes the O(N) bisector scan down to the
+// geometrically relevant neighborhood.
+func splitByBudget(self Site, others []Site, j, budget int, poly geom.Polygon, out *[]geom.Polygon) {
+	for ; j < len(others); j++ {
+		if len(poly) < 3 || poly.Area() < 1e-16 {
+			return
+		}
+		o := others[j]
+		d2 := o.Pos.Dist2(self.Pos)
+		if bound := maxDistToBBox(self.Pos, poly.BBox()); d2 >= 4*bound*bound {
+			break // this and all farther neighbors leave poly untouched
+		}
+		if d2 < coincidentTol {
+			// Coincident generator: tie broken by index uniformly over the
+			// whole plane.
+			if o.ID < self.ID {
+				if budget == 0 {
+					return
+				}
+				budget--
+			}
+			continue
+		}
+		h := geom.Bisector(self.Pos, o.Pos) // contains points at least as close to self
+		if budget == 0 {
+			// No allowance left: keep only the part where o is not closer.
+			poly = poly.ClipHalfPlane(h)
+			continue
+		}
+		// Branch: the part where o is closer consumes one budget unit.
+		closer := poly.ClipHalfPlane(h.Complement())
+		if len(closer) >= 3 && closer.Area() >= 1e-16 {
+			splitByBudget(self, others, j+1, budget-1, closer, out)
+		}
+		poly = poly.ClipHalfPlane(h)
+	}
+	if len(poly) >= 3 && poly.Area() >= 1e-16 {
+		*out = append(*out, poly)
+	}
+}
+
+// RegionArea returns the total area of a set of disjoint polygons; a
+// convenience for dominating regions.
+func RegionArea(polys []geom.Polygon) float64 {
+	var a float64
+	for _, p := range polys {
+		a += p.Area()
+	}
+	return a
+}
+
+// Vertices returns all vertices of the given polygons concatenated. The
+// Chebyshev center of a dominating region is the smallest-enclosing-circle
+// center of these points.
+func Vertices(polys []geom.Polygon) []geom.Point {
+	var n int
+	for _, p := range polys {
+		n += len(p)
+	}
+	out := make([]geom.Point, 0, n)
+	for _, p := range polys {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// MaxDistFrom returns the farthest distance from q to any vertex of the
+// polygons — the circumradius R̂ of a dominating region about a node at q.
+func MaxDistFrom(q geom.Point, polys []geom.Polygon) float64 {
+	var m float64
+	for _, p := range polys {
+		if d := p.MaxDistFrom(q); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Cell is one cell of a k-order Voronoi diagram: the set of points whose k
+// nearest generators are exactly Generators (as a sorted ID set), realized
+// as disjoint convex polygon pieces clipped to the region.
+type Cell struct {
+	Generators []int
+	Polys      []geom.Polygon
+}
+
+// Area returns the total area of the cell.
+func (c Cell) Area() float64 { return RegionArea(c.Polys) }
+
+// Diagram is a k-order Voronoi diagram over a region.
+type Diagram struct {
+	K     int
+	Sites []Site
+	Cells []Cell
+}
+
+// KOrderDiagram computes the k-order Voronoi diagram of sites clipped to
+// reg, by iterative refinement from the 1-order diagram. It returns an error
+// for invalid k or if fewer than k generators exist.
+func KOrderDiagram(sites []Site, k int, reg *region.Region) (*Diagram, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("voronoi: k must be >= 1, got %d", k)
+	}
+	if len(sites) < k {
+		return nil, fmt.Errorf("voronoi: need at least k=%d sites, got %d", k, len(sites))
+	}
+	cells := order1Cells(sites, reg.Pieces())
+	for order := 1; order < k; order++ {
+		cells = refine(sites, cells)
+	}
+	return &Diagram{K: k, Sites: append([]Site(nil), sites...), Cells: cells}, nil
+}
+
+// order1Cells computes the 1-order Voronoi cells of sites clipped to the
+// given convex pieces.
+func order1Cells(sites []Site, pieces []geom.Polygon) []Cell {
+	cells := make([]Cell, 0, len(sites))
+	for i, s := range sites {
+		var polys []geom.Polygon
+		for _, piece := range pieces {
+			poly := clipToNearest(s, sites, piece, nil)
+			if len(poly) >= 3 && poly.Area() >= 1e-16 {
+				polys = append(polys, poly)
+			}
+		}
+		if len(polys) > 0 {
+			cells = append(cells, Cell{Generators: []int{sites[i].ID}, Polys: polys})
+		}
+	}
+	return cells
+}
+
+// clipToNearest clips piece to the set of points for which s is at least as
+// close as every other site not in the skip set; skip maps site IDs to
+// ignore (the current cell's generators during refinement).
+func clipToNearest(s Site, sites []Site, piece geom.Polygon, skip map[int]bool) geom.Polygon {
+	poly := piece
+	for _, o := range sites {
+		if len(poly) < 3 {
+			return nil
+		}
+		if o.ID == s.ID || skip[o.ID] {
+			continue
+		}
+		if o.Pos.Dist2(s.Pos) < coincidentTol {
+			if o.ID < s.ID {
+				return nil // tie lost everywhere
+			}
+			continue
+		}
+		poly = poly.ClipHalfPlane(geom.Bisector(s.Pos, o.Pos))
+	}
+	return poly
+}
+
+// refine lifts an order-j cell set to order j+1: each cell is subdivided by
+// the 1-order Voronoi diagram of the non-generator sites, and each sub-cell
+// gains the locally-nearest non-generator.
+func refine(sites []Site, cells []Cell) []Cell {
+	merged := make(map[string]*Cell)
+	for _, c := range cells {
+		skip := make(map[int]bool, len(c.Generators))
+		for _, g := range c.Generators {
+			skip[g] = true
+		}
+		for _, cand := range sites {
+			if skip[cand.ID] {
+				continue
+			}
+			var polys []geom.Polygon
+			for _, piece := range c.Polys {
+				sub := clipToNearest(cand, sites, piece, skip)
+				if len(sub) >= 3 && sub.Area() >= 1e-16 {
+					polys = append(polys, sub)
+				}
+			}
+			if len(polys) == 0 {
+				continue
+			}
+			gens := append(append([]int(nil), c.Generators...), cand.ID)
+			sort.Ints(gens)
+			key := genKey(gens)
+			if m, ok := merged[key]; ok {
+				m.Polys = append(m.Polys, polys...)
+			} else {
+				merged[key] = &Cell{Generators: gens, Polys: polys}
+			}
+		}
+	}
+	out := make([]Cell, 0, len(merged))
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic order
+	for _, k := range keys {
+		out = append(out, *merged[k])
+	}
+	return out
+}
+
+// maxDistToBBox returns the maximum distance from p to the corners of b —
+// an upper bound on the distance from p to any point inside b.
+func maxDistToBBox(p geom.Point, b geom.BBox) float64 {
+	dx := math.Max(math.Abs(b.Min.X-p.X), math.Abs(b.Max.X-p.X))
+	dy := math.Max(math.Abs(b.Min.Y-p.Y), math.Abs(b.Max.Y-p.Y))
+	return math.Hypot(dx, dy)
+}
+
+func genKey(gens []int) string {
+	b := make([]byte, 0, 4*len(gens))
+	for _, g := range gens {
+		b = append(b, byte(g>>24), byte(g>>16), byte(g>>8), byte(g))
+	}
+	return string(b)
+}
+
+// DominatingRegionOf returns the dominating region of the site with the
+// given ID as the union of the diagram cells that list it as a generator.
+func (d *Diagram) DominatingRegionOf(id int) []geom.Polygon {
+	var out []geom.Polygon
+	for _, c := range d.Cells {
+		for _, g := range c.Generators {
+			if g == id {
+				out = append(out, c.Polys...)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TotalArea returns the summed area of all cells — for a valid diagram this
+// equals the region area (the cells partition the region).
+func (d *Diagram) TotalArea() float64 {
+	var a float64
+	for _, c := range d.Cells {
+		a += c.Area()
+	}
+	return a
+}
+
+// KNearest returns the IDs of the k generators nearest to v, using the same
+// index tie-breaking as the diagram construction.
+func KNearest(sites []Site, v geom.Point, k int) []int {
+	type ds struct {
+		d  float64
+		id int
+	}
+	all := make([]ds, len(sites))
+	for i, s := range sites {
+		all[i] = ds{d: s.Pos.Dist2(v), id: s.ID}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].d != all[b].d {
+			return all[a].d < all[b].d
+		}
+		return all[a].id < all[b].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].id
+	}
+	sort.Ints(out)
+	return out
+}

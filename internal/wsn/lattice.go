@@ -1,0 +1,54 @@
+package wsn
+
+import (
+	"math"
+
+	"laacad/internal/geom"
+)
+
+// HexLattice returns the positions of a triangular (hexagonal-packing)
+// lattice with the given number of rows and columns and nearest-neighbor
+// pitch. Odd rows are offset by half a pitch, giving every interior node six
+// equidistant neighbors — the regular deployment used in the paper's Fig. 2
+// to illustrate the expanding-ring search.
+func HexLattice(rows, cols int, pitch float64) []geom.Point {
+	pts := make([]geom.Point, 0, rows*cols)
+	dy := pitch * math.Sqrt(3) / 2
+	for r := 0; r < rows; r++ {
+		offset := 0.0
+		if r%2 == 1 {
+			offset = pitch / 2
+		}
+		for c := 0; c < cols; c++ {
+			pts = append(pts, geom.Pt(offset+float64(c)*pitch, float64(r)*dy))
+		}
+	}
+	return pts
+}
+
+// SquareLattice returns a rows×cols grid with the given pitch.
+func SquareLattice(rows, cols int, pitch float64) []geom.Point {
+	pts := make([]geom.Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pts = append(pts, geom.Pt(float64(c)*pitch, float64(r)*pitch))
+		}
+	}
+	return pts
+}
+
+// CenterIndex returns the index of the lattice point nearest the centroid of
+// pts — the "central node" of a regular deployment.
+func CenterIndex(pts []geom.Point) int {
+	if len(pts) == 0 {
+		return -1
+	}
+	c := geom.Centroid(pts)
+	best, bestD := 0, math.Inf(1)
+	for i, p := range pts {
+		if d := p.Dist2(c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

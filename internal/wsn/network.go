@@ -1,0 +1,294 @@
+// Package wsn models the wireless-sensor-network substrate LAACAD runs on:
+// node positions, the unit-disk communication graph induced by a common
+// transmission range γ, distance and hop-limited neighborhood queries backed
+// by a uniform spatial grid, and per-node message accounting for the
+// localized expanding-ring search (Algorithm 2 in the paper).
+//
+// The package is deliberately independent of the deployment algorithm: it
+// answers "who can I hear, and what does asking cost" and nothing else.
+package wsn
+
+import (
+	"fmt"
+	"math"
+
+	"laacad/internal/geom"
+)
+
+// Network is a set of sensor nodes with a common transmission range. It is
+// not safe for concurrent mutation; LAACAD's round loop is synchronous.
+type Network struct {
+	pos   []geom.Point
+	gamma float64
+	stats Stats
+
+	// Uniform grid spatial index over node positions, rebuilt lazily after
+	// position updates. Cell side = gamma, so a range-ρ query scans
+	// ⌈ρ/γ+1⌉² cells.
+	grid     map[gridKey][]int
+	cellSide float64
+	dirty    bool
+}
+
+type gridKey struct{ cx, cy int }
+
+// Stats accumulates communication cost. Messages counts link-level
+// transmissions (each hop of each unicast/broadcast counts once).
+type Stats struct {
+	Messages int64
+	ByNode   []int64
+}
+
+// New creates a network with the given node positions and transmission
+// range gamma. It panics if gamma is not positive.
+func New(pos []geom.Point, gamma float64) *Network {
+	if gamma <= 0 {
+		panic(fmt.Sprintf("wsn: transmission range must be positive, got %v", gamma))
+	}
+	n := &Network{
+		pos:      append([]geom.Point(nil), pos...),
+		gamma:    gamma,
+		cellSide: gamma,
+		dirty:    true,
+	}
+	n.stats.ByNode = make([]int64, len(pos))
+	return n
+}
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return len(n.pos) }
+
+// Gamma returns the transmission range γ.
+func (n *Network) Gamma() float64 { return n.gamma }
+
+// Position returns node i's position.
+func (n *Network) Position(i int) geom.Point { return n.pos[i] }
+
+// Positions returns a copy of all node positions.
+func (n *Network) Positions() []geom.Point {
+	return append([]geom.Point(nil), n.pos...)
+}
+
+// SetPosition moves node i to p.
+func (n *Network) SetPosition(i int, p geom.Point) {
+	n.pos[i] = p
+	n.dirty = true
+}
+
+// SetPositions replaces all node positions (same count required).
+func (n *Network) SetPositions(pos []geom.Point) {
+	if len(pos) != len(n.pos) {
+		panic(fmt.Sprintf("wsn: SetPositions with %d positions for %d nodes", len(pos), len(n.pos)))
+	}
+	copy(n.pos, pos)
+	n.dirty = true
+}
+
+// Stats returns a snapshot of the accumulated communication statistics.
+func (n *Network) Stats() Stats {
+	return Stats{Messages: n.stats.Messages, ByNode: append([]int64(nil), n.stats.ByNode...)}
+}
+
+// ResetStats zeroes the communication counters.
+func (n *Network) ResetStats() {
+	n.stats.Messages = 0
+	for i := range n.stats.ByNode {
+		n.stats.ByNode[i] = 0
+	}
+}
+
+// Charge records m link-level transmissions attributed to node i.
+func (n *Network) Charge(i int, m int64) {
+	n.stats.Messages += m
+	n.stats.ByNode[i] += m
+}
+
+func (n *Network) rebuild() {
+	if !n.dirty {
+		return
+	}
+	// Pick a cell side that keeps occupancy near one node per cell: for
+	// deployments much wider than γ, γ-sized cells would make range queries
+	// scan huge empty cell windows.
+	n.cellSide = n.gamma
+	if len(n.pos) > 0 {
+		b := geom.BBoxOf(n.pos)
+		span := math.Max(b.Width(), b.Height())
+		if adaptive := span / math.Sqrt(float64(len(n.pos))); adaptive > n.cellSide {
+			n.cellSide = adaptive
+		}
+	}
+	n.grid = make(map[gridKey][]int, len(n.pos))
+	for i, p := range n.pos {
+		k := n.keyOf(p)
+		n.grid[k] = append(n.grid[k], i)
+	}
+	n.dirty = false
+}
+
+func (n *Network) keyOf(p geom.Point) gridKey {
+	return gridKey{
+		cx: int(math.Floor(p.X / n.cellSide)),
+		cy: int(math.Floor(p.Y / n.cellSide)),
+	}
+}
+
+// NeighborsWithin returns the IDs of all nodes other than i strictly within
+// distance rho of node i (the paper's N(n_i, ρ)).
+func (n *Network) NeighborsWithin(i int, rho float64) []int {
+	n.rebuild()
+	p := n.pos[i]
+	rho2 := rho * rho
+	var out []int
+	r := int(math.Ceil(rho/n.cellSide)) + 1
+	if (2*r+1)*(2*r+1) > len(n.pos) {
+		// The cell window would touch more cells than there are nodes:
+		// a linear scan is cheaper and has no map overhead.
+		for j, q := range n.pos {
+			if j != i && q.Dist2(p) < rho2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	base := n.keyOf(p)
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			for _, j := range n.grid[gridKey{base.cx + dx, base.cy + dy}] {
+				if j != i && n.pos[j].Dist2(p) < rho2 {
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// OneHop returns node i's one-hop neighbors: nodes strictly within the
+// transmission range γ.
+func (n *Network) OneHop(i int) []int { return n.NeighborsWithin(i, n.gamma) }
+
+// HopNeighborhood returns the nodes reachable from i within the given hop
+// count over the unit-disk graph, as a map from node ID to hop distance
+// (excluding i itself).
+func (n *Network) HopNeighborhood(i, hops int) map[int]int {
+	n.rebuild()
+	dist := map[int]int{i: 0}
+	frontier := []int{i}
+	for h := 1; h <= hops && len(frontier) > 0; h++ {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range n.NeighborsWithin(u, n.gamma) {
+				if _, seen := dist[v]; !seen {
+					dist[v] = h
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	delete(dist, i)
+	return dist
+}
+
+// RingQueryMode selects how the expanding-ring query of Algorithm 2
+// discovers nodes.
+type RingQueryMode int
+
+const (
+	// RingGeometric returns exactly N(n_i, ρ) — every node within Euclidean
+	// distance ρ — matching the paper's idealized definition. Message cost
+	// is modeled as if the query flooded ⌈ρ/γ⌉ hops.
+	RingGeometric RingQueryMode = iota
+	// RingHopLimited floods the real unit-disk graph ⌈ρ/γ⌉ hops and then
+	// filters to distance < ρ, so partitioned or sparse networks return
+	// fewer nodes than the geometric ideal.
+	RingHopLimited
+)
+
+// RingQuery performs one expanding-ring neighborhood query of radius rho for
+// node i and charges its communication cost: a flood to h = ⌈ρ/γ⌉ hops costs
+// one broadcast per already-reached node, and each discovered node's reply
+// is forwarded back over its hop distance.
+func (n *Network) RingQuery(i int, rho float64, mode RingQueryMode) []int {
+	hops := int(math.Ceil(rho / n.gamma))
+	if hops < 1 {
+		hops = 1
+	}
+	var found []int
+	var cost int64
+	switch mode {
+	case RingGeometric:
+		found = n.NeighborsWithin(i, rho)
+		// Model: query rebroadcast by every node in the ring (+1 for the
+		// origin), plus replies of ⌈d/γ⌉ hops each.
+		cost = 1 + int64(len(found))
+		for _, j := range found {
+			h := int64(math.Ceil(n.pos[j].Dist(n.pos[i]) / n.gamma))
+			if h < 1 {
+				h = 1
+			}
+			cost += h
+		}
+	case RingHopLimited:
+		reach := n.HopNeighborhood(i, hops)
+		cost = 1
+		rho2 := rho * rho
+		for j, h := range reach {
+			cost++ // each reached node rebroadcasts once
+			if n.pos[j].Dist2(n.pos[i]) < rho2 {
+				found = append(found, j)
+				cost += int64(h) // reply forwarded back h hops
+			}
+		}
+	default:
+		panic(fmt.Sprintf("wsn: unknown ring query mode %d", mode))
+	}
+	n.Charge(i, cost)
+	return found
+}
+
+// Connected reports whether the unit-disk graph is connected. An empty
+// network is connected by convention.
+func (n *Network) Connected() bool {
+	if len(n.pos) == 0 {
+		return true
+	}
+	seen := make([]bool, len(n.pos))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range n.NeighborsWithin(u, n.gamma) {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == len(n.pos)
+}
+
+// DegreeStats returns the minimum, maximum and mean node degree of the
+// unit-disk graph.
+func (n *Network) DegreeStats() (minDeg, maxDeg int, mean float64) {
+	if len(n.pos) == 0 {
+		return 0, 0, 0
+	}
+	minDeg = math.MaxInt
+	var sum int
+	for i := range n.pos {
+		d := len(n.OneHop(i))
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+		sum += d
+	}
+	return minDeg, maxDeg, float64(sum) / float64(len(n.pos))
+}
