@@ -1,7 +1,9 @@
 package laacad
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"laacad/internal/core"
@@ -241,6 +243,71 @@ func BenchmarkKOrderVoronoiAlgorithms(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchWorkerCounts is the worker sweep for the parallel-step benchmarks:
+// 1, 2, 4 and NumCPU (deduplicated and capped to available CPUs, so the
+// sweep is meaningful on any machine).
+func benchWorkerCounts() []int {
+	counts := []int{1}
+	for _, w := range []int{2, 4, runtime.NumCPU()} {
+		if w > runtime.NumCPU() {
+			continue
+		}
+		if w != counts[len(counts)-1] {
+			counts = append(counts, w)
+		}
+	}
+	return counts
+}
+
+// BenchmarkStepParallel measures one synchronous LAACAD round across worker
+// counts at two network sizes — the regression surface for the parallel
+// round engine. The trajectory is bit-identical for every worker count, so
+// the sub-benchmarks time the same work; with W workers on ≥W free cores
+// the round should approach a W× speedup (region computations dominate and
+// are embarrassingly parallel).
+func BenchmarkStepParallel(b *testing.B) {
+	reg := UnitSquareKm()
+	for _, n := range []int{250, 1000} {
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				cfg := DefaultConfig(2)
+				cfg.Epsilon = 1e-9 // keep every node moving for the whole run
+				cfg.Workers = w
+				eng, err := NewEngine(reg, benchStart(reg, n, 42), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Step()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFinalizeParallel measures the Finalize/DebugRegions fan-out (the
+// other parallelized surface) at the Table I scale.
+func BenchmarkFinalizeParallel(b *testing.B) {
+	reg := UnitSquareKm()
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := DefaultConfig(2)
+			cfg.Workers = w
+			eng, err := NewEngine(reg, benchStart(reg, 500, 43), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if regions := eng.DebugRegions(); len(regions) != 500 {
+					b.Fatal("bad region count")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkWelzl measures the Chebyshev-center primitive on 64 points.

@@ -27,15 +27,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		name   = fs.String("run", "all", "experiment to run (or 'all'); one of: "+fmt.Sprint(experiment.Names()))
-		quick  = fs.Bool("quick", false, "reduced workload sizes")
-		seed   = fs.Int64("seed", 1, "random seed")
-		outdir = fs.String("outdir", "", "directory for CSV outputs (optional)")
+		name    = fs.String("run", "all", "experiment to run (or 'all'); one of: "+fmt.Sprint(experiment.Names()))
+		quick   = fs.Bool("quick", false, "reduced workload sizes")
+		seed    = fs.Int64("seed", 1, "random seed")
+		outdir  = fs.String("outdir", "", "directory for CSV outputs (optional)")
+		workers = fs.Int("workers", -1, "goroutines running independent trials (0 = serial, -1 = all CPUs); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiment.RunConfig{Quick: *quick, Seed: *seed}
+	cfg := experiment.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers}
 
 	var outs []*experiment.Output
 	if *name == "all" {

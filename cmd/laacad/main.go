@@ -40,6 +40,7 @@ func run(args []string) error {
 		gamma    = fs.Float64("gamma", 0.2, "transmission range (localized mode)")
 		regName  = fs.String("region", "square", "region: square | lshape | cross | obstacle1 | obstacles2")
 		start    = fs.String("start", "uniform", "initial placement: uniform | corner")
+		workers  = fs.Int("workers", 0, "engine worker goroutines per round (0 = serial, -1 = all CPUs); trajectories are identical for any value")
 		gridRes  = fs.Int("grid", 80, "coverage verification grid resolution")
 		showPlot = fs.Bool("plot", true, "render final layout as ASCII")
 		savePath = fs.String("save", "", "write the final deployment as a JSON snapshot")
@@ -69,6 +70,7 @@ func run(args []string) error {
 	cfg.MaxRounds = *rounds
 	cfg.Seed = *seed
 	cfg.Gamma = *gamma
+	cfg.Workers = *workers
 	switch *mode {
 	case "centralized":
 		cfg.Mode = laacad.Centralized

@@ -20,7 +20,11 @@ func main() {
 
 	// Deploy for 2-coverage with the paper's default parameters
 	// (step size α = 0.5, centralized dominating-region computation).
+	// Workers = -1 fans each round's per-node region computations across
+	// all CPUs; the trajectory is bit-identical to a serial run, so this
+	// is purely a speed knob.
 	cfg := laacad.DefaultConfig(2)
+	cfg.Workers = -1
 	res, err := laacad.Deploy(reg, start, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module laacad
+
+go 1.21

@@ -124,6 +124,15 @@ type Config struct {
 	// Seed drives the (deterministic) randomized Chebyshev-center
 	// computation.
 	Seed int64
+	// Workers is the number of goroutines fanning the per-node dominating-
+	// region computation of each Synchronous round (and of Finalize /
+	// DebugRegions) across CPUs. 0 or 1 runs serially; negative means
+	// runtime.NumCPU. Results are bit-identical for every worker count:
+	// each node's randomness is an independent stream derived from
+	// (Seed, round, node ID), never a shared sequential source, so
+	// scheduling order cannot leak into the output. Sequential order is
+	// inherently serial and ignores this knob.
+	Workers int
 	// KeepRegions retains every node's final dominating region in the
 	// Result (costs memory; useful for rendering and debugging).
 	KeepRegions bool
@@ -183,5 +192,9 @@ func (c *Config) validate(n int) error {
 	if math.IsNaN(c.Epsilon) || math.IsNaN(c.Alpha) {
 		return fmt.Errorf("core: NaN parameter")
 	}
+	// Workers is deliberately not normalized here: the -1 "all CPUs"
+	// sentinel must survive in the Config so a recorded run replays
+	// portably across machines with different core counts; the engine
+	// resolves it per fan-out via parallel.Workers.
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"laacad/internal/boundary"
 	"laacad/internal/geom"
+	"laacad/internal/parallel"
 	"laacad/internal/region"
 	"laacad/internal/voronoi"
 	"laacad/internal/wsn"
@@ -86,7 +87,6 @@ type Engine struct {
 	cfg      Config
 	reg      *region.Region
 	net      *wsn.Network
-	rng      *rand.Rand
 	detector boundary.Detector
 
 	round     int
@@ -124,7 +124,6 @@ func New(reg *region.Region, initial []geom.Point, cfg Config) (*Engine, error) 
 		cfg:      cfg,
 		reg:      reg,
 		net:      wsn.New(pos, gamma),
-		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
 		detector: det,
 	}, nil
 }
@@ -148,15 +147,62 @@ func (e *Engine) Converged() bool { return e.converged }
 // Trace returns the per-round statistics collected so far.
 func (e *Engine) Trace() []RoundStats { return e.trace }
 
+// nodeOutcome is one node's contribution to a round. Each outcome depends
+// only on the positions at the start of the round (Synchronous order), so
+// outcomes can be computed independently and in any order; the round's
+// statistics are reduced from them in node order afterwards.
+type nodeOutcome struct {
+	polys    []geom.Polygon
+	next     geom.Point
+	ri       float64 // circumradius of the dominating region
+	rhat     float64 // max vertex distance from the current position
+	moveDist float64
+	moved    bool
+	empty    bool // pathological empty region: node stands still
+}
+
+// stepNode computes node i's dominating region, Chebyshev center and motion
+// target from the current positions. rng is the node's private stream for
+// this round (see nodeRNG); it drives the randomized Chebyshev-center
+// computation and, in Localized mode, message-loss sampling.
+func (e *Engine) stepNode(i int, isBoundary []bool, rng *rand.Rand) nodeOutcome {
+	ui := e.net.Position(i)
+	polys := e.regionOf(i, isBoundary, rng)
+	if len(polys) == 0 {
+		// Pathological (e.g. node crowded out numerically): stand still.
+		return nodeOutcome{next: ui, empty: true}
+	}
+	verts := voronoi.Vertices(polys)
+	ci, ri := geom.ChebyshevCenter(verts, rng)
+	ci = e.reg.ClampInside(ci)
+	out := nodeOutcome{
+		polys: polys,
+		next:  ui,
+		ri:    ri,
+		rhat:  voronoi.MaxDistFrom(ui, polys),
+	}
+	if d := ui.Dist(ci); d > e.cfg.Epsilon {
+		target := ui.Add(ci.Sub(ui).Scale(e.cfg.Alpha))
+		target = e.reg.ClampInside(target)
+		out.next = target
+		out.moved = true
+		out.moveDist = ui.Dist(target)
+	}
+	return out
+}
+
 // Step executes one LAACAD round and returns its statistics. The returned
 // bool is true once the deployment has converged (no node needed to move
 // more than ε this round). With Config.Order == Synchronous all moves apply
-// at the end of the round; with Sequential each node's move is visible to
-// the nodes processed after it.
+// at the end of the round and the per-node region computations fan out
+// across Config.Workers goroutines; with Sequential each node's move is
+// visible to the nodes processed after it, which is inherently serial.
+// Either way the result is bit-identical for every worker count.
 func (e *Engine) Step() (RoundStats, bool) {
 	n := e.net.Len()
+	round := e.round + 1
 	stats := RoundStats{
-		Round:           e.round + 1,
+		Round:           round,
 		MinCircumradius: math.Inf(1),
 	}
 	var isBoundary []bool
@@ -164,46 +210,43 @@ func (e *Engine) Step() (RoundStats, bool) {
 		isBoundary = e.detector.Boundary(e.net)
 	}
 	sequential := e.cfg.Order == Sequential
+	outs := make([]nodeOutcome, n)
+	if sequential {
+		for i := 0; i < n; i++ {
+			outs[i] = e.stepNode(i, isBoundary, nodeRNG(e.cfg.Seed, round, i))
+			e.net.SetPosition(i, outs[i].next)
+		}
+	} else {
+		e.net.Rebuild() // build the spatial index once, before the fan-out
+		parallel.For(n, parallel.Workers(e.cfg.Workers), func(i int) {
+			outs[i] = e.stepNode(i, isBoundary, nodeRNG(e.cfg.Seed, round, i))
+		})
+	}
+
 	polysPerNode := make([][]geom.Polygon, n)
 	next := make([]geom.Point, n)
 	moved := 0
-	for i := 0; i < n; i++ {
-		ui := e.net.Position(i)
-		polys := e.regionOf(i, isBoundary)
-		polysPerNode[i] = polys
-		if len(polys) == 0 {
-			// Pathological (e.g. node crowded out numerically): stand still.
-			next[i] = ui
+	for i := range outs {
+		o := &outs[i]
+		polysPerNode[i] = o.polys
+		next[i] = o.next
+		if o.empty {
 			continue
 		}
-		verts := voronoi.Vertices(polys)
-		ci, ri := geom.ChebyshevCenter(verts, e.rng)
-		ci = e.reg.ClampInside(ci)
-		rhat := voronoi.MaxDistFrom(ui, polys)
-
-		if ri > stats.MaxCircumradius {
-			stats.MaxCircumradius = ri
+		if o.ri > stats.MaxCircumradius {
+			stats.MaxCircumradius = o.ri
 		}
-		if ri < stats.MinCircumradius {
-			stats.MinCircumradius = ri
+		if o.ri < stats.MinCircumradius {
+			stats.MinCircumradius = o.ri
 		}
-		if rhat > stats.MaxRhat {
-			stats.MaxRhat = rhat
+		if o.rhat > stats.MaxRhat {
+			stats.MaxRhat = o.rhat
 		}
-
-		if d := ui.Dist(ci); d > e.cfg.Epsilon {
-			target := ui.Add(ci.Sub(ui).Scale(e.cfg.Alpha))
-			target = e.reg.ClampInside(target)
-			next[i] = target
+		if o.moved {
 			moved++
-			if mv := ui.Dist(target); mv > stats.MaxMove {
-				stats.MaxMove = mv
+			if o.moveDist > stats.MaxMove {
+				stats.MaxMove = o.moveDist
 			}
-		} else {
-			next[i] = ui
-		}
-		if sequential {
-			e.net.SetPosition(i, next[i])
 		}
 	}
 	if math.IsInf(stats.MinCircumradius, 1) {
@@ -226,13 +269,13 @@ func (e *Engine) Step() (RoundStats, bool) {
 // regionOf computes node i's dominating region under the configured mode.
 // isBoundary is the per-node boundary bitmap (Localized mode only; may be
 // nil otherwise).
-func (e *Engine) regionOf(i int, isBoundary []bool) []geom.Polygon {
+func (e *Engine) regionOf(i int, isBoundary []bool, rng *rand.Rand) []geom.Polygon {
 	if e.cfg.Mode == Localized {
 		b := false
 		if isBoundary != nil {
 			b = isBoundary[i]
 		}
-		return e.localizedRegionOf(i, b)
+		return e.localizedRegionOf(i, b, rng)
 	}
 	return e.centralizedRegionOf(i)
 }
@@ -324,13 +367,14 @@ func (e *Engine) computeRegions() [][]geom.Polygon {
 }
 
 // centralizedRegions computes every node's dominating region with global
-// knowledge.
+// knowledge, fanning the per-node computations across Config.Workers.
 func (e *Engine) centralizedRegions() [][]geom.Polygon {
 	n := e.net.Len()
 	out := make([][]geom.Polygon, n)
-	for i := 0; i < n; i++ {
+	e.net.Rebuild()
+	parallel.For(n, parallel.Workers(e.cfg.Workers), func(i int) {
 		out[i] = e.centralizedRegionOf(i)
-	}
+	})
 	return out
 }
 

@@ -2,8 +2,10 @@ package core
 
 import (
 	"math"
+	"math/rand"
 
 	"laacad/internal/geom"
+	"laacad/internal/parallel"
 	"laacad/internal/voronoi"
 	"laacad/internal/wsn"
 )
@@ -29,13 +31,21 @@ func (e *Engine) localizedRegions() [][]geom.Polygon {
 	n := e.net.Len()
 	out := make([][]geom.Polygon, n)
 	isBoundary := e.detector.Boundary(e.net)
-	for i := 0; i < n; i++ {
-		out[i] = e.localizedRegionOf(i, isBoundary[i])
-	}
+	e.net.Rebuild()
+	// Negative round tag: a domain separate from every Step round, so an
+	// inspection fan-out (DebugRegions, Finalize) never replays the loss
+	// draws the next Step is about to make.
+	round := -(e.round + 1)
+	parallel.For(n, parallel.Workers(e.cfg.Workers), func(i int) {
+		out[i] = e.localizedRegionOf(i, isBoundary[i], nodeRNG(e.cfg.Seed, round, i))
+	})
 	return out
 }
 
-func (e *Engine) localizedRegionOf(i int, isBoundary bool) []geom.Polygon {
+// localizedRegionOf runs Algorithm 2 for node i. rng drives message-loss
+// sampling when LossRate > 0; it must be the node's private stream so
+// parallel fan-outs stay deterministic.
+func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand) []geom.Polygon {
 	ui := e.net.Position(i)
 	gamma := e.cfg.Gamma
 	rho := 0.0
@@ -47,7 +57,7 @@ func (e *Engine) localizedRegionOf(i int, isBoundary bool) []geom.Polygon {
 				LossRate: e.cfg.LossRate,
 				Retries:  e.cfg.LossRetries,
 				Mode:     e.cfg.RingMode,
-			}, e.rng)
+			}, rng)
 		}
 		return e.net.RingQuery(i, radius, e.cfg.RingMode)
 	}

@@ -49,20 +49,24 @@ func runAblationAlpha(cfg RunConfig) (*Output, error) {
 		maxMove float64
 	}
 	var pts []point
-	for _, a := range alphas {
+	results := make([]*core.Result, len(alphas))
+	if err := forTrials(len(alphas), cfg, func(t int) error {
 		c := core.DefaultConfig(k)
-		c.Alpha = a
+		c.Alpha = alphas[t]
 		c.Epsilon = 1e-3
 		c.MaxRounds = maxRounds
 		c.Seed = cfg.Seed
 		eng, err := core.New(reg, start, c)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := eng.Run()
-		if err != nil {
-			return nil, err
-		}
+		results[t], err = eng.Run()
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	for ai, a := range alphas {
+		res := results[ai]
 		var worstMove float64
 		for _, tr := range res.Trace {
 			if tr.MaxMove > worstMove {

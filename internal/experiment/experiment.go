@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"laacad/internal/parallel"
 )
 
 // RunConfig parameterizes a runner invocation.
@@ -18,6 +20,29 @@ type RunConfig struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Workers is the number of goroutines running independent trials
+	// (deployments within a sweep) concurrently, with the same convention
+	// as core Config.Workers: 0 or 1 = serial, negative = runtime.NumCPU.
+	// Every trial is seeded independently, so outputs are byte-identical
+	// for any worker count.
+	Workers int
+}
+
+// forTrials fans fn(i) for i in [0, n) across the configured trial workers
+// and returns the first error by trial index. fn must confine its writes to
+// the i-th slot of its outputs so results are deterministic; callers render
+// tables and evaluate shape checks serially afterwards.
+func forTrials(n int, cfg RunConfig, fn func(i int) error) error {
+	errs := make([]error, n)
+	parallel.For(n, parallel.Workers(cfg.Workers), func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Check is one shape assertion evaluated by a runner.

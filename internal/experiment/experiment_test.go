@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-func quickCfg() RunConfig { return RunConfig{Quick: true, Seed: 1} }
+func quickCfg() RunConfig { return RunConfig{Quick: true, Seed: 1, Workers: -1} }
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
@@ -39,11 +39,22 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 }
 
+// slowRunners are the runners dominated by full deployments; they are
+// skipped under -short so the package has a fast mode (the remaining
+// runners still cover every code path at small sizes).
+var slowRunners = map[string]bool{
+	"fig5": true, "fig7": true, "fig8": true,
+	"replication": true, "table1": true, "table2": true,
+}
+
 // Each runner executes in quick mode, produces text, CSV and passing checks.
 func TestRunnersQuick(t *testing.T) {
 	for _, name := range Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
+			if testing.Short() && slowRunners[name] {
+				t.Skipf("%s runs full deployments; skipped in -short mode", name)
+			}
 			out, err := Run(name, quickCfg())
 			if err != nil {
 				t.Fatalf("run: %v", err)
@@ -96,6 +107,9 @@ func TestOutputFailedAndSummary(t *testing.T) {
 }
 
 func TestRunAllQuickSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll repeats every runner; TestRunnersQuick already covers them")
+	}
 	// RunAll over the full registry is exercised by cmd/experiments; here we
 	// just validate the error path and the happy path on one runner by
 	// temporarily consulting the registry.

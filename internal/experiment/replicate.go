@@ -33,20 +33,31 @@ func runReplication(cfg RunConfig) (*Output, error) {
 	var rStars, rounds []float64
 	covered := 0
 	csv := [][]string{{"seed", "r_star", "rounds", "covered"}}
-	for s := 0; s < seeds; s++ {
-		seed := cfg.Seed + int64(1000+s)
-		res, err := deploy(reg, n, k, 1e-3, 300, seed)
+	type replica struct {
+		rStar   float64
+		rounds  int
+		covered bool
+	}
+	reps := make([]replica, seeds)
+	if err := forTrials(seeds, cfg, func(s int) error {
+		res, err := deploy(reg, n, k, 1e-3, 300, cfg.Seed+int64(1000+s))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep := coverage.Verify(res.Positions, res.Radii, reg, 60)
-		if rep.KCovered(k) {
+		reps[s] = replica{rStar: res.MaxRadius(), rounds: res.Rounds, covered: rep.KCovered(k)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for s, r := range reps {
+		if r.covered {
 			covered++
 		}
-		rStars = append(rStars, res.MaxRadius())
-		rounds = append(rounds, float64(res.Rounds))
-		csv = append(csv, []string{fmt.Sprint(seed), f64(res.MaxRadius()),
-			fmt.Sprint(res.Rounds), fmt.Sprint(rep.KCovered(k))})
+		rStars = append(rStars, r.rStar)
+		rounds = append(rounds, float64(r.rounds))
+		csv = append(csv, []string{fmt.Sprint(cfg.Seed + int64(1000+s)), f64(r.rStar),
+			fmt.Sprint(r.rounds), fmt.Sprint(r.covered)})
 	}
 	rSum := stats.Summarize(rStars)
 	roundSum := stats.Summarize(rounds)

@@ -56,12 +56,24 @@ func runFig7(cfg RunConfig) (*Output, error) {
 	maxLoad := map[int][]float64{}
 	totLoad := map[int][]float64{}
 	csv := [][]string{{"k", "n", "max_load", "total_load", "max_r", "min_r"}}
-	for _, k := range ks {
-		for _, n := range sizes {
-			res, err := deploy(reg, n, k, 1e-3, maxRounds, cfg.Seed+int64(1000*k+n))
-			if err != nil {
-				return nil, err
-			}
+	// Every (k, n) cell is an independent deployment with its own seed: fan
+	// them across the trial pool, then assemble rows in sweep order.
+	results := make([]*core.Result, len(ks)*len(sizes))
+	err := forTrials(len(results), cfg, func(t int) error {
+		k, n := ks[t/len(sizes)], sizes[t%len(sizes)]
+		res, err := deploy(reg, n, k, 1e-3, maxRounds, cfg.Seed+int64(1000*k+n))
+		if err != nil {
+			return err
+		}
+		results[t] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range ks {
+		for ni, n := range sizes {
+			res := results[ki*len(sizes)+ni]
 			ml := energy.MaxLoad(res.Radii, model)
 			tl := energy.TotalLoad(res.Radii, model)
 			maxLoad[k] = append(maxLoad[k], ml)
@@ -149,7 +161,11 @@ func runTable1(cfg RunConfig) (*Output, error) {
 	rows := [][]string{}
 	csv := [][]string{{"n", "start", "r_star", "bai_n_star", "overhead"}}
 
-	runOne := func(n int, paired bool) (float64, float64, error) {
+	type table1Trial struct {
+		rStar, overhead float64
+		rep             coverage.Report
+	}
+	runOne := func(n int, paired bool) (table1Trial, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
 		var start []geom.Point
 		if paired {
@@ -171,11 +187,11 @@ func runTable1(cfg RunConfig) (*Output, error) {
 		c.Seed = cfg.Seed
 		eng, err := core.New(reg, start, c)
 		if err != nil {
-			return 0, 0, err
+			return table1Trial{}, err
 		}
 		res, err := eng.Run()
 		if err != nil {
-			return 0, 0, err
+			return table1Trial{}, err
 		}
 		rStar := res.MaxRadius()
 		nStar := baseline.BaiMinNodes2Coverage(reg.Area(), rStar)
@@ -185,26 +201,29 @@ func runTable1(cfg RunConfig) (*Output, error) {
 			radii[i] = rStar
 		}
 		rep := coverage.Verify(res.Positions, radii, reg, 100)
-		label := "uniform"
-		if paired {
-			label = "paired"
-		}
-		out.Checks = append(out.Checks,
-			check(fmt.Sprintf("N=%d %s uniform-range 2-coverage", n, label),
-				rep.KCovered(2), "min depth %d", rep.MinDepth))
-		return rStar, float64(n)/nStar - 1, nil
+		return table1Trial{rStar: rStar, overhead: float64(n)/nStar - 1, rep: rep}, nil
 	}
 
-	for _, n := range sizes {
-		for _, paired := range []bool{false, true} {
-			rStar, overhead, err := runOne(n, paired)
-			if err != nil {
-				return nil, err
-			}
+	trials := make([]table1Trial, 2*len(sizes))
+	if err := forTrials(len(trials), cfg, func(t int) error {
+		var err error
+		trials[t], err = runOne(sizes[t/2], t%2 == 1)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	for si, n := range sizes {
+		for pi, paired := range []bool{false, true} {
+			tr := trials[2*si+pi]
+			rStar, overhead := tr.rStar, tr.overhead
 			label := "uniform"
 			if paired {
 				label = "paired"
 			}
+			out.Checks = append(out.Checks,
+				check(fmt.Sprintf("N=%d %s uniform-range 2-coverage", n, label),
+					tr.rep.KCovered(2), "min depth %d", tr.rep.MinDepth))
 			rows = append(rows, []string{fmt.Sprint(n), label, f64(rStar),
 				f64(baseline.BaiMinNodes2Coverage(reg.Area(), rStar)),
 				fmt.Sprintf("%.1f%%", overhead*100)})
@@ -253,12 +272,17 @@ func runTable2(cfg RunConfig) (*Output, error) {
 	paperR := map[int]float64{3: 8.77, 4: 10.21, 5: 11.24, 6: 12.36, 7: 13.39, 8: 14.32}
 	rows := [][]string{}
 	csv := [][]string{{"k", "r_star", "paper_r_star", "ammari_n_star", "advantage"}}
+	results := make([]*core.Result, len(ks))
+	if err := forTrials(len(ks), cfg, func(t int) error {
+		res, err := deploy(reg, n, ks[t], 0.02, maxRounds, cfg.Seed+int64(10*ks[t]))
+		results[t] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	var prevR float64
-	for _, k := range ks {
-		res, err := deploy(reg, n, k, 0.02, maxRounds, cfg.Seed+int64(10*k))
-		if err != nil {
-			return nil, err
-		}
+	for ki, k := range ks {
+		res := results[ki]
 		rStar := res.MaxRadius()
 		nStar := baseline.AmmariLensNodes(k, reg.Area(), rStar)
 		adv := nStar / float64(n)
@@ -306,14 +330,26 @@ func runFig8(cfg RunConfig) (*Output, error) {
 	}
 	var b strings.Builder
 	csv := [][]string{{"scenario", "k", "rounds", "max_r", "covered"}}
-	for _, sc := range scenarios {
+	type fig8Trial struct {
+		res *core.Result
+		rep coverage.Report
+	}
+	trials := make([]fig8Trial, len(scenarios)*len(ks))
+	if err := forTrials(len(trials), cfg, func(t int) error {
+		sc, k := scenarios[t/len(ks)], ks[t%len(ks)]
+		res, err := deploy(sc.reg, n, k, 1e-3, maxRounds, cfg.Seed+int64(100*k))
+		if err != nil {
+			return err
+		}
+		trials[t] = fig8Trial{res: res, rep: coverage.Verify(res.Positions, res.Radii, sc.reg, 90)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for si, sc := range scenarios {
 		fmt.Fprintf(&b, "Scenario %s (|A|=%s):\n", sc.name, f64(sc.reg.Area()))
-		for _, k := range ks {
-			res, err := deploy(sc.reg, n, k, 1e-3, maxRounds, cfg.Seed+int64(100*k))
-			if err != nil {
-				return nil, err
-			}
-			rep := coverage.Verify(res.Positions, res.Radii, sc.reg, 90)
+		for ki, k := range ks {
+			res, rep := trials[si*len(ks)+ki].res, trials[si*len(ks)+ki].rep
 			inObstacle := 0
 			for _, p := range res.Positions {
 				if !sc.reg.Contains(p) {

@@ -1,0 +1,64 @@
+// Package parallel provides the small worker-pool primitive shared by the
+// round engine and the experiment harness: a deterministic-output parallel
+// for-loop over an index range.
+//
+// Determinism is the caller's contract: fn(i) must write only to the i-th
+// slot of its output and derive any randomness from i (not from shared
+// state), so the result is bit-identical regardless of worker count or
+// scheduling order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob with one convention shared by
+// every layer (engine Config.Workers, experiment RunConfig.Workers, the
+// CLI -workers flags): values > 0 are returned as-is, 0 means serial (one
+// worker), and negative means "use all CPUs" (runtime.NumCPU).
+func Workers(w int) int {
+	switch {
+	case w > 0:
+		return w
+	case w < 0:
+		return runtime.NumCPU()
+	default:
+		return 1
+	}
+}
+
+// For invokes fn(i) for every i in [0, n), fanning the calls across the
+// given number of worker goroutines. Indices are handed out dynamically
+// (an atomic counter), so unevenly sized work items balance across the
+// pool. workers <= 1 (or n <= 1) runs the loop inline on the calling
+// goroutine with no synchronization overhead. For returns once every call
+// has completed.
+func For(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

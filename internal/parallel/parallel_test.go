@@ -1,0 +1,53 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != 1 {
+		t.Errorf("Workers(0) = %d, want 1 (serial)", got)
+	}
+	if got := Workers(-1); got != runtime.NumCPU() {
+		t.Errorf("Workers(-1) = %d, want NumCPU=%d", got, runtime.NumCPU())
+	}
+}
+
+// Every index is visited exactly once, for serial and parallel pools, and
+// for pools larger than the index range.
+func TestForVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7, 100} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			visits := make([]int32, n)
+			For(n, workers, func(i int) {
+				atomic.AddInt32(&visits[i], 1)
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// Per-slot writes need no synchronization and land deterministically.
+func TestForSlotWritesDeterministic(t *testing.T) {
+	const n = 500
+	want := make([]int, n)
+	For(n, 1, func(i int) { want[i] = i * i })
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		got := make([]int, n)
+		For(n, workers, func(i int) { got[i] = i * i })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

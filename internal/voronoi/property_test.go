@@ -1,0 +1,60 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"laacad/internal/region"
+)
+
+// Randomized tiling properties of the k-order structure on random site sets:
+//
+//  1. Exactly k sites dominate any point, so the dominating-region areas of
+//     all sites must sum to k·|A| (for k < n; at k ≥ n every site dominates
+//     everywhere).
+//  2. The direct per-site DominatingRegion computation and the full
+//     KOrderDiagram must assign each site the same area.
+func TestDominatingRegionsTileKFold(t *testing.T) {
+	reg := region.UnitSquareKm()
+	area := reg.Area()
+	rng := rand.New(rand.NewSource(1234))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 6 + rng.Intn(18)
+		sites := make([]Site, n)
+		for i := range sites {
+			p := reg.RandomPoint(rng)
+			sites[i] = Site{ID: i, Pos: p}
+		}
+		for _, k := range []int{1, 2, 3} {
+			if k >= n {
+				continue
+			}
+			var sum float64
+			direct := make([]float64, n)
+			for i, s := range sites {
+				direct[i] = RegionArea(DominatingRegion(s, sites, k, reg.Pieces()))
+				sum += direct[i]
+			}
+			if rel := math.Abs(sum-float64(k)*area) / (float64(k) * area); rel > 1e-6 {
+				t.Errorf("trial %d n=%d k=%d: region areas sum to %v, want k·|A|=%v (rel err %g)",
+					trial, n, k, sum, float64(k)*area, rel)
+			}
+			d, err := KOrderDiagram(sites, k, reg)
+			if err != nil {
+				t.Fatalf("trial %d n=%d k=%d: KOrderDiagram: %v", trial, n, k, err)
+			}
+			for i := range sites {
+				da := RegionArea(d.DominatingRegionOf(i))
+				if diff := math.Abs(da - direct[i]); diff > 1e-6*(1+direct[i]) {
+					t.Errorf("trial %d n=%d k=%d site %d: diagram area %v != direct area %v",
+						trial, n, k, i, da, direct[i])
+				}
+			}
+		}
+	}
+}

@@ -11,23 +11,40 @@ package wsn
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"laacad/internal/geom"
 )
 
-// Network is a set of sensor nodes with a common transmission range. It is
-// not safe for concurrent mutation; LAACAD's round loop is synchronous.
+// Network is a set of sensor nodes with a common transmission range.
+//
+// Concurrency: position mutation (SetPosition, SetPositions) must not run
+// concurrently with anything else, but the read path is safe for concurrent
+// use — the lazy spatial-grid rebuild is mutex-guarded, and message
+// accounting (Charge) is atomic — so queries such as NeighborsWithin,
+// RingQuery and HopNeighborhood may fan out across goroutines between
+// mutations. Callers doing so should invoke Rebuild first so the grid is
+// built once up front rather than contended on first query.
 type Network struct {
 	pos   []geom.Point
 	gamma float64
-	stats Stats
+
+	// Message counters. atomic.Int64 (not bare int64 + atomic ops) so the
+	// 8-byte alignment Charge needs is guaranteed on 32-bit platforms too.
+	msgs   atomic.Int64
+	byNode []atomic.Int64
 
 	// Uniform grid spatial index over node positions, rebuilt lazily after
 	// position updates. Cell side = gamma, so a range-ρ query scans
-	// ⌈ρ/γ+1⌉² cells.
+	// ⌈ρ/γ+1⌉² cells. dirty is the lock-free fast path: queries only take
+	// mu (which guards the rebuild itself) when the grid is stale, so
+	// concurrent readers of a clean grid never contend on the mutex.
+	mu       sync.Mutex
 	grid     map[gridKey][]int
 	cellSide float64
-	dirty    bool
+	dirty    atomic.Bool
 }
 
 type gridKey struct{ cx, cy int }
@@ -49,9 +66,9 @@ func New(pos []geom.Point, gamma float64) *Network {
 		pos:      append([]geom.Point(nil), pos...),
 		gamma:    gamma,
 		cellSide: gamma,
-		dirty:    true,
+		byNode:   make([]atomic.Int64, len(pos)),
 	}
-	n.stats.ByNode = make([]int64, len(pos))
+	n.dirty.Store(true)
 	return n
 }
 
@@ -69,42 +86,67 @@ func (n *Network) Positions() []geom.Point {
 	return append([]geom.Point(nil), n.pos...)
 }
 
-// SetPosition moves node i to p.
+// SetPosition moves node i to p. Must not run concurrently with queries.
 func (n *Network) SetPosition(i int, p geom.Point) {
 	n.pos[i] = p
-	n.dirty = true
+	n.markDirty()
 }
 
-// SetPositions replaces all node positions (same count required).
+// SetPositions replaces all node positions (same count required). Must not
+// run concurrently with queries.
 func (n *Network) SetPositions(pos []geom.Point) {
 	if len(pos) != len(n.pos) {
 		panic(fmt.Sprintf("wsn: SetPositions with %d positions for %d nodes", len(pos), len(n.pos)))
 	}
 	copy(n.pos, pos)
-	n.dirty = true
+	n.markDirty()
 }
+
+func (n *Network) markDirty() { n.dirty.Store(true) }
 
 // Stats returns a snapshot of the accumulated communication statistics.
 func (n *Network) Stats() Stats {
-	return Stats{Messages: n.stats.Messages, ByNode: append([]int64(nil), n.stats.ByNode...)}
+	s := Stats{
+		Messages: n.msgs.Load(),
+		ByNode:   make([]int64, len(n.byNode)),
+	}
+	for i := range n.byNode {
+		s.ByNode[i] = n.byNode[i].Load()
+	}
+	return s
 }
 
 // ResetStats zeroes the communication counters.
 func (n *Network) ResetStats() {
-	n.stats.Messages = 0
-	for i := range n.stats.ByNode {
-		n.stats.ByNode[i] = 0
+	n.msgs.Store(0)
+	for i := range n.byNode {
+		n.byNode[i].Store(0)
 	}
 }
 
-// Charge records m link-level transmissions attributed to node i.
+// Charge records m link-level transmissions attributed to node i. It is safe
+// for concurrent use.
 func (n *Network) Charge(i int, m int64) {
-	n.stats.Messages += m
-	n.stats.ByNode[i] += m
+	n.msgs.Add(m)
+	n.byNode[i].Add(m)
 }
 
+// Rebuild brings the spatial grid up to date with the current positions.
+// Queries do this lazily on demand; callers about to fan queries across
+// goroutines should call it explicitly so workers start from a clean,
+// immutable index instead of contending on the first query.
+func (n *Network) Rebuild() { n.rebuild() }
+
 func (n *Network) rebuild() {
-	if !n.dirty {
+	// Fast path: the atomic load pairs with the Store(false) below, so a
+	// reader that observes a clean flag also observes the built grid
+	// (happens-before via the atomic), without touching the mutex.
+	if !n.dirty.Load() {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.dirty.Load() {
 		return
 	}
 	// Pick a cell side that keeps occupancy near one node per cell: for
@@ -123,7 +165,7 @@ func (n *Network) rebuild() {
 		k := n.keyOf(p)
 		n.grid[k] = append(n.grid[k], i)
 	}
-	n.dirty = false
+	n.dirty.Store(false)
 }
 
 func (n *Network) keyOf(p geom.Point) gridKey {
@@ -234,11 +276,20 @@ func (n *Network) RingQuery(i int, rho float64, mode RingQueryMode) []int {
 		reach := n.HopNeighborhood(i, hops)
 		cost = 1
 		rho2 := rho * rho
-		for j, h := range reach {
+		// Iterate in node-ID order, not map order: callers consume the
+		// result positionally (e.g. RingQueryLossy assigns per-reply loss
+		// draws down this list), so the order is part of the determinism
+		// contract.
+		ids := make([]int, 0, len(reach))
+		for j := range reach {
+			ids = append(ids, j)
+		}
+		sort.Ints(ids)
+		for _, j := range ids {
 			cost++ // each reached node rebroadcasts once
 			if n.pos[j].Dist2(n.pos[i]) < rho2 {
 				found = append(found, j)
-				cost += int64(h) // reply forwarded back h hops
+				cost += int64(reach[j]) // reply forwarded back over its hops
 			}
 		}
 	default:

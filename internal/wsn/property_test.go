@@ -1,0 +1,106 @@
+package wsn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"laacad/internal/geom"
+)
+
+// bruteNeighbors is the O(n) reference for NeighborsWithin.
+func bruteNeighbors(pos []geom.Point, i int, rho float64) []int {
+	var out []int
+	rho2 := rho * rho
+	for j, q := range pos {
+		if j != i && q.Dist2(pos[i]) < rho2 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Randomized cross-validation: the grid-indexed NeighborsWithin must agree
+// with a brute-force linear scan for every node, radius and deployment shape
+// — including clustered deployments that stress the adaptive cell sizing,
+// and radii spanning sub-cell to whole-network scales.
+func TestNeighborsWithinPropertyRandomDeployments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 5 + rng.Intn(120)
+		clustered := trial%3 == 0
+		pos := make([]geom.Point, n)
+		for i := range pos {
+			if clustered {
+				// Tight cluster plus outliers: exercises the adaptive grid.
+				cx, cy := rng.Float64(), rng.Float64()
+				pos[i] = geom.Pt(cx+0.01*rng.NormFloat64(), cy+0.01*rng.NormFloat64())
+			} else {
+				pos[i] = geom.Pt(rng.Float64()*2-0.5, rng.Float64()*2-0.5)
+			}
+		}
+		gamma := 0.02 + rng.Float64()*0.3
+		net := New(pos, gamma)
+		for probe := 0; probe < 8; probe++ {
+			i := rng.Intn(n)
+			rho := rng.Float64() * 2.5
+			got := net.NeighborsWithin(i, rho)
+			want := bruteNeighbors(pos, i, rho)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: node %d rho=%v: grid found %d, brute force %d",
+					trial, i, rho, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("trial %d: node %d rho=%v: grid %v != brute %v",
+						trial, i, rho, got, want)
+				}
+			}
+		}
+		// Moving a node must invalidate the grid and stay consistent.
+		m := rng.Intn(n)
+		net.SetPosition(m, geom.Pt(rng.Float64(), rng.Float64()))
+		pos[m] = net.Position(m)
+		got := net.NeighborsWithin(m, 0.5)
+		want := bruteNeighbors(pos, m, 0.5)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d after move: grid %v != brute %v", trial, got, want)
+		}
+	}
+}
+
+// Rebuild is idempotent and query results do not depend on whether the grid
+// was built eagerly (Rebuild) or lazily (first query).
+func TestRebuildExplicitMatchesLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pos := make([]geom.Point, 80)
+	for i := range pos {
+		pos[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	lazy := New(pos, 0.1)
+	eager := New(pos, 0.1)
+	eager.Rebuild()
+	eager.Rebuild() // idempotent
+	for i := 0; i < len(pos); i += 7 {
+		a := lazy.NeighborsWithin(i, 0.3)
+		b := eager.NeighborsWithin(i, 0.3)
+		sort.Ints(a)
+		sort.Ints(b)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: lazy %v != eager %v", i, a, b)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("node %d: lazy %v != eager %v", i, a, b)
+			}
+		}
+	}
+}

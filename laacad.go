@@ -16,7 +16,9 @@
 //
 //	reg := laacad.UnitSquareKm()
 //	start := laacad.PlaceUniform(reg, 100, rand.New(rand.NewSource(1)))
-//	res, err := laacad.Deploy(reg, start, laacad.DefaultConfig(2))
+//	cfg := laacad.DefaultConfig(2)
+//	cfg.Workers = -1 // fan each round across all CPUs; same result as serial
+//	res, err := laacad.Deploy(reg, start, cfg)
 //	if err != nil { ... }
 //	rep := laacad.VerifyCoverage(res.Positions, res.Radii, reg, 100)
 //	fmt.Println(res.MaxRadius(), rep.KCovered(2)) // R*, true
@@ -25,6 +27,24 @@
 // injection), Localized mode for the fully distributed Algorithm 2 with
 // message accounting, and the baseline helpers to reproduce the paper's
 // Table I/II comparisons.
+//
+// # Parallelism and determinism
+//
+// Each node's dominating region depends only on the previous round's
+// positions (Proposition 1), so a Synchronous round is embarrassingly
+// parallel. Config.Workers sets the number of goroutines the engine fans
+// the per-node region computations across (0 or 1 = serial, -1 = all
+// CPUs); Finalize and DebugRegions use the same pool.
+//
+// The determinism contract: a run is a pure function of (initial
+// positions, Config) — the worker count and goroutine scheduling never
+// affect the outcome. Trajectories, traces, final positions and radii are
+// bit-identical for every Workers value, because each node draws its
+// randomness (Chebyshev-center shuffles, message-loss sampling) from a
+// private stream derived from (Config.Seed, round, node ID) rather than
+// from a shared sequential source. Deterministic replay therefore holds
+// across machines and core counts: record (region, start, Config) and any
+// run can be reproduced exactly.
 package laacad
 
 import (
