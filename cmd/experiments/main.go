@@ -1,18 +1,28 @@
 // Command experiments regenerates the paper's tables and figures (and the
 // DESIGN.md ablations) from scratch.
 //
+// SIGINT/SIGTERM aborts the sweep cleanly: in-flight deployments stop at
+// the next round, and with -progress a resume file records the experiments
+// already completed so a rerun skips them.
+//
 // Usage:
 //
 //	experiments -run all                  # everything, full paper sizes
 //	experiments -run fig6 -quick          # one artifact, reduced sizes
 //	experiments -run table1 -outdir out/  # also write CSV series
+//	experiments -run all -progress exp-progress.json   # interruptible/resumable
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"laacad/internal/experiment"
 )
@@ -27,41 +37,64 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		name    = fs.String("run", "all", "experiment to run (or 'all'); one of: "+fmt.Sprint(experiment.Names()))
-		quick   = fs.Bool("quick", false, "reduced workload sizes")
-		seed    = fs.Int64("seed", 1, "random seed")
-		outdir  = fs.String("outdir", "", "directory for CSV outputs (optional)")
-		workers = fs.Int("workers", -1, "goroutines running independent trials (0 = serial, -1 = all CPUs); results are identical for any value")
+		name     = fs.String("run", "all", "experiment to run (or 'all'); one of: "+fmt.Sprint(experiment.Names()))
+		quick    = fs.Bool("quick", false, "reduced workload sizes")
+		seed     = fs.Int64("seed", 1, "random seed")
+		outdir   = fs.String("outdir", "", "directory for CSV outputs (optional)")
+		workers  = fs.Int("workers", -1, "goroutines running independent trials (0 = serial, -1 = all CPUs); results are identical for any value")
+		progress = fs.String("progress", "", "progress file: completed experiments are recorded here on interrupt and skipped on rerun")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiment.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers}
 
-	var outs []*experiment.Output
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := experiment.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers, Ctx: ctx}
+
+	var names []string
 	if *name == "all" {
-		all, err := experiment.RunAll(cfg)
-		if err != nil {
-			return err
-		}
-		outs = all
+		names = experiment.Names()
 	} else {
-		out, err := experiment.Run(*name, cfg)
-		if err != nil {
+		names = []string{*name}
+	}
+	done := map[string]bool{}
+	if *progress != "" {
+		var err error
+		if done, err = readProgress(*progress); err != nil {
 			return err
 		}
-		outs = append(outs, out)
 	}
 
-	failedTotal := 0
-	for _, o := range outs {
-		fmt.Println(o.Summary())
-		failedTotal += len(o.Failed())
+	failedTotal, ran := 0, 0
+	var completed []string
+	for n := range done {
+		completed = append(completed, n)
+	}
+	for _, n := range names {
+		if done[n] {
+			fmt.Printf("skipping %s (already completed per %s)\n", n, *progress)
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return interrupted(*progress, completed, err)
+		}
+		out, err := experiment.Run(n, cfg)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return interrupted(*progress, completed, err)
+			}
+			return err
+		}
+		ran++
+		completed = append(completed, n)
+		fmt.Println(out.Summary())
+		failedTotal += len(out.Failed())
 		if *outdir != "" {
 			if err := os.MkdirAll(*outdir, 0o755); err != nil {
 				return err
 			}
-			for fname, content := range o.CSV {
+			for fname, content := range out.CSV {
 				path := filepath.Join(*outdir, fname)
 				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 					return err
@@ -73,6 +106,54 @@ func run(args []string) error {
 	if failedTotal > 0 {
 		return fmt.Errorf("%d shape checks failed", failedTotal)
 	}
-	fmt.Printf("all shape checks passed across %d experiments\n", len(outs))
+	if *progress != "" && ran > 0 {
+		// A completed sweep clears the progress file: the next invocation
+		// starts fresh.
+		if err := os.Remove(*progress); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	fmt.Printf("all shape checks passed across %d experiments (%d skipped)\n", ran, len(names)-ran)
 	return nil
+}
+
+// progressFile is the on-disk resume record for an interrupted sweep.
+type progressFile struct {
+	Completed []string `json:"completed"`
+}
+
+func readProgress(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var p progressFile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("progress file %s: %w", path, err)
+	}
+	done := make(map[string]bool, len(p.Completed))
+	for _, n := range p.Completed {
+		done[n] = true
+	}
+	return done, nil
+}
+
+// interrupted writes the resume record (when -progress is set) and reports
+// the interruption.
+func interrupted(path string, completed []string, cause error) error {
+	if path == "" {
+		return fmt.Errorf("interrupted after %d experiments: %w", len(completed), cause)
+	}
+	data, err := json.MarshalIndent(progressFile{Completed: completed}, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("interrupted, and writing %s failed: %w", path, err)
+	}
+	return fmt.Errorf("interrupted after %d experiments; rerun with -progress %s to resume: %w",
+		len(completed), path, cause)
 }

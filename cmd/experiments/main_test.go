@@ -31,3 +31,38 @@ func TestRunUnknownExperiment(t *testing.T) {
 		t.Error("unknown experiment should error")
 	}
 }
+
+func TestProgressFileSkipsCompleted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "progress.json")
+	if err := os.WriteFile(path, []byte(`{"completed":["fig1"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// fig1 is recorded as done: the run must skip it and finish instantly.
+	if err := run([]string{"-run", "fig1", "-quick", "-progress", path}); err != nil {
+		t.Fatalf("run with progress: %v", err)
+	}
+	// Nothing ran, so the progress file must survive for the real rerun.
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("progress file should remain when work was skipped: %v", err)
+	}
+}
+
+func TestProgressFileClearedAfterFullRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "progress.json")
+	if err := run([]string{"-run", "fig1", "-quick", "-progress", path}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("progress file should be cleared after a completed sweep (err=%v)", err)
+	}
+}
+
+func TestCorruptProgressFileRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "progress.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "fig1", "-quick", "-progress", path}); err == nil {
+		t.Error("corrupt progress file should error")
+	}
+}

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"context"
 	"os"
+	"path/filepath"
 	"testing"
+
+	"laacad"
 )
 
 func TestRunSmallDeployment(t *testing.T) {
@@ -35,12 +39,26 @@ func TestRunCornerStartWithPlot(t *testing.T) {
 	}
 }
 
+func TestRunRegisteredScenarioWithOverrides(t *testing.T) {
+	// The registered "uniform" scenario shrunk to test size via overrides.
+	err := run([]string{
+		"-scenario", "uniform", "-n", "12", "-k", "1", "-rounds", "60",
+		"-eps", "0.003", "-grid", "20", "-plot=false",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-region", "mars"},
 		{"-start", "sideways"},
 		{"-mode", "psychic"},
 		{"-k", "0"},
+		{"-scenario", "nope"},
+		{"-scenario", "async"}, // event-driven: not runnable by this CLI
+		{"-resume", "does-not-exist.json"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("args %v should fail", args)
@@ -48,15 +66,45 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
-func TestPickRegion(t *testing.T) {
-	for _, name := range []string{"square", "lshape", "cross", "obstacle1", "obstacles2"} {
-		reg, err := pickRegion(name)
-		if err != nil || reg == nil {
-			t.Errorf("pickRegion(%q) failed: %v", name, err)
-		}
+func TestListScenarios(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("list: %v", err)
 	}
-	if _, err := pickRegion("nope"); err == nil {
-		t.Error("unknown region should error")
+}
+
+func TestRunResumeFromCheckpoint(t *testing.T) {
+	// Interrupt a run via the library, write the checkpoint, and let the
+	// CLI finish it.
+	sc := laacad.Scenario{Region: "square", Placement: "uniform", N: 10}
+	sc.Config = laacad.DefaultConfig(1)
+	sc.Config.Epsilon = 3e-3
+	sc.Config.MaxRounds = 60
+	sc.Config.Seed = 5
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := laacad.NewRunner(sc, laacad.WithObserver(func(_ laacad.Runner, st laacad.RoundStats) error {
+		if st.Round == 3 {
+			cancel()
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx); err == nil {
+		t.Fatal("expected the run to be cancelled")
+	}
+	st, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "resume.json")
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run([]string{"-resume", path, "-grid", "20", "-plot=false"}); err != nil {
+		t.Fatalf("resume run: %v", err)
 	}
 }
 

@@ -1,44 +1,64 @@
 // Async: run LAACAD the way the paper actually describes it — every node on
 // its own periodic τ-clock, moving at a finite (Robomote-class) speed — and
-// compare the outcome with the idealized synchronous rounds. The fixed
-// points coincide; asynchrony costs wall-clock time and travel, not
-// coverage quality.
+// compare the outcome with the idealized synchronous rounds. Both regimes
+// run through the same laacad.Run entry point; the fixed points coincide,
+// and asynchrony costs wall-clock time and travel, not coverage quality.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"laacad"
 )
 
 func main() {
-	reg := laacad.UnitSquareKm()
-	rng := rand.New(rand.NewSource(21))
-	start := laacad.PlaceUniform(reg, 50, rng)
 	const k = 2
+	ctx := context.Background()
 
-	// Idealized synchronous rounds.
+	// Idealized synchronous rounds: an ad-hoc scenario (named region and
+	// placement from the registry, explicit node count and config).
 	syncCfg := laacad.DefaultConfig(k)
 	syncCfg.Epsilon = 2e-3
-	syncRes, err := laacad.Deploy(reg, start, syncCfg)
+	syncCfg.Seed = 21
+	syncSc := laacad.Scenario{
+		Region: "square", Placement: "uniform", N: 50,
+		Config: syncCfg,
+	}
+	syncRes, err := laacad.Run(ctx, syncSc)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Event-driven: τ = 1 s activations with 10% jitter, nodes crawling at
-	// 10 m/s (0.01 km/s).
+	// Event-driven: the same scenario value with the Async flag — τ = 1 s
+	// activations with 10% jitter, nodes crawling at 10 m/s (0.01 km/s).
+	// NewRunner (instead of Run) keeps the Runner handle so the async-
+	// specific measures can be read back with RunAsync's result type.
 	asyncCfg := laacad.DefaultAsyncConfig(k)
 	asyncCfg.Epsilon = 2e-3
 	asyncCfg.Tau = 1.0
 	asyncCfg.Speed = 0.01
 	asyncCfg.MaxTime = 5000
-	asyncRes, err := laacad.DeployAsync(reg, start, asyncCfg)
+	asyncCfg.Seed = 21
+	asyncSc := laacad.Scenario{
+		Region: "square", Placement: "uniform", N: 50,
+		Async: true, AsyncConfig: asyncCfg,
+	}
+	r, err := laacad.NewRunner(asyncSc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, _ := laacad.AsyncDeploymentOf(r)
+	asyncRes, err := d.RunAsync(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	reg, err := laacad.LookupRegionByName("square")
+	if err != nil {
+		log.Fatal(err)
+	}
 	sRep := laacad.VerifyCoverage(syncRes.Positions, syncRes.Radii, reg, 80)
 	aRep := laacad.VerifyCoverage(asyncRes.Positions, asyncRes.Radii, reg, 80)
 

@@ -1,10 +1,12 @@
 // Failover: k-coverage is motivated by fault tolerance. This example deploys
-// for 3-coverage, kills several nodes, shows that coverage degrades
-// gracefully (the area is still (3−f)-covered), and lets LAACAD re-converge
-// to restore full 3-coverage with the survivors.
+// for 3-coverage and then uses the Observer API to kill several nodes
+// mid-run — the moment the deployment first converges — showing that
+// coverage degrades gracefully and that LAACAD re-converges to restore full
+// 3-coverage with the survivors, all within a single observable run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,50 +15,67 @@ import (
 )
 
 func main() {
-	reg := laacad.UnitSquareKm()
-	rng := rand.New(rand.NewSource(11))
-	start := laacad.PlaceUniform(reg, 80, rng)
-
 	cfg := laacad.DefaultConfig(3)
-	eng, err := laacad.NewEngine(reg, start, cfg)
+	cfg.Seed = 11
+	sc := laacad.Scenario{
+		Region: "square", Placement: "uniform", N: 80,
+		Config: cfg,
+	}
+	reg, err := laacad.LookupRegionByName(sc.Region)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := eng.Run()
-	if err != nil {
-		log.Fatal(err)
-	}
-	rep := laacad.VerifyCoverage(res.Positions, res.Radii, reg, 80)
-	fmt.Printf("initial deployment: %d nodes, R*=%.4f, 3-covered=%v\n",
-		len(res.Positions), res.MaxRadius(), rep.KCovered(3))
 
-	// Fail 5 random nodes. With the old positions and radii the region is
-	// still at least (3−failures-per-point)-covered.
 	const failures = 5
-	for i := 0; i < failures; i++ {
-		if err := eng.RemoveNode(rng.Intn(eng.Network().Len())); err != nil {
-			log.Fatal(err)
-		}
-	}
-	// Coverage right after the failures, before any movement: reuse the old
-	// radii for the survivors (they have not recomputed anything yet).
-	surv := eng.Positions()
-	oldRadii := make([]float64, len(surv))
-	for i := range oldRadii {
-		oldRadii[i] = res.MaxRadius() // conservative: all at R*
-	}
-	repAfter := laacad.VerifyCoverage(surv, oldRadii, reg, 80)
-	fmt.Printf("after %d failures (before healing): min coverage depth %d\n",
-		failures, repAfter.MinDepth)
+	rng := rand.New(rand.NewSource(11))
+	killed := false
+	var before *laacad.Result
 
-	// Let the survivors re-run LAACAD and restore 3-coverage.
-	healed, err := eng.Run()
+	res, err := laacad.Run(context.Background(), sc,
+		laacad.WithObserver(func(r laacad.Runner, st laacad.RoundStats) error {
+			// The observer runs between rounds; topology mutation here is
+			// deterministic (randomness is per (seed, round, node)).
+			if st.Moved > 0 || killed {
+				return nil
+			}
+			killed = true
+			eng, _ := laacad.EngineOf(r)
+			snap, err := eng.Finalize()
+			if err != nil {
+				return err
+			}
+			before = snap
+			rep := laacad.VerifyCoverage(snap.Positions, snap.Radii, reg, 80)
+			fmt.Printf("initial deployment: %d nodes, %d rounds, R*=%.4f, 3-covered=%v\n",
+				len(snap.Positions), st.Round, snap.MaxRadius(), rep.KCovered(3))
+
+			for i := 0; i < failures; i++ {
+				if err := eng.RemoveNode(rng.Intn(eng.Network().Len())); err != nil {
+					return err
+				}
+			}
+			// Coverage right after the failures, before any healing motion:
+			// conservatively give every survivor the old R*.
+			surv := eng.Positions()
+			oldRadii := make([]float64, len(surv))
+			for i := range oldRadii {
+				oldRadii[i] = snap.MaxRadius()
+			}
+			repAfter := laacad.VerifyCoverage(surv, oldRadii, reg, 80)
+			fmt.Printf("after %d failures (before healing): min coverage depth %d\n",
+				failures, repAfter.MinDepth)
+			return nil // run continues: the survivors heal
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	repHealed := laacad.VerifyCoverage(healed.Positions, healed.Radii, reg, 80)
-	fmt.Printf("after healing: %d nodes, %d rounds, R*=%.4f, 3-covered=%v\n",
-		len(healed.Positions), healed.Rounds, healed.MaxRadius(), repHealed.KCovered(3))
+	if before == nil {
+		log.Fatal("deployment never converged, so no failure was injected")
+	}
+
+	repHealed := laacad.VerifyCoverage(res.Positions, res.Radii, reg, 80)
+	fmt.Printf("after healing: %d nodes, %d rounds total, R*=%.4f, 3-covered=%v\n",
+		len(res.Positions), res.Rounds, res.MaxRadius(), repHealed.KCovered(3))
 	fmt.Printf("R* grew by %.1f%% to compensate for the lost nodes\n",
-		(healed.MaxRadius()/res.MaxRadius()-1)*100)
+		(res.MaxRadius()/before.MaxRadius()-1)*100)
 }

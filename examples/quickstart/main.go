@@ -1,31 +1,41 @@
 // Quickstart: deploy 100 mobile sensor nodes for 2-coverage of a 1 km² area
-// and verify the result — the minimal end-to-end use of the laacad library.
+// and verify the result — the minimal end-to-end use of the laacad library
+// through the unified Scenario/Runner API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"laacad"
 )
 
 func main() {
-	// The paper's canonical setting: a 1 km² square area.
-	reg := laacad.UnitSquareKm()
+	// The registered "uniform" scenario is the paper's canonical setting:
+	// 100 nodes dropped uniformly at random over the 1 km² square, deployed
+	// for 2-coverage with the default parameters (step size α = 0.5,
+	// centralized dominating-region computation). A Scenario is a single
+	// replayable value: same scenario, same result, on any machine.
+	sc, err := laacad.LookupScenario("uniform")
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// 100 nodes dropped uniformly at random.
-	rng := rand.New(rand.NewSource(1))
-	start := laacad.PlaceUniform(reg, 100, rng)
-
-	// Deploy for 2-coverage with the paper's default parameters
-	// (step size α = 0.5, centralized dominating-region computation).
-	// Workers = -1 fans each round's per-node region computations across
-	// all CPUs; the trajectory is bit-identical to a serial run, so this
-	// is purely a speed knob.
-	cfg := laacad.DefaultConfig(2)
-	cfg.Workers = -1
-	res, err := laacad.Deploy(reg, start, cfg)
+	// Run drives the scenario under a context (cancel it to stop cleanly
+	// with a partial result). WithWorkers(-1) fans each round's per-node
+	// region computations across all CPUs; the trajectory is bit-identical
+	// to a serial run, so this is purely a speed knob. The observer streams
+	// rounds as they complete.
+	res, err := laacad.Run(context.Background(), sc,
+		laacad.WithWorkers(-1),
+		laacad.WithObserver(func(_ laacad.Runner, st laacad.RoundStats) error {
+			if st.Round%20 == 0 {
+				fmt.Printf("  round %3d: max circumradius %.4f, %d nodes moving\n",
+					st.Round, st.MaxCircumradius, st.Moved)
+			}
+			return nil
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,6 +45,10 @@ func main() {
 		res.MaxRadius(), res.MinRadius())
 
 	// Verify Definition 1: every point of the area is covered by ≥ 2 nodes.
+	reg, err := laacad.LookupRegionByName(sc.Region)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rep := laacad.VerifyCoverage(res.Positions, res.Radii, reg, 100)
 	fmt.Printf("2-covered: %v (coverage depth %d..%d over %d samples)\n",
 		rep.KCovered(2), rep.MinDepth, rep.MaxDepth, rep.Samples)

@@ -9,6 +9,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -111,7 +112,7 @@ func MinNodes(reg *region.Region, rs float64, cfg core.Config, seed int64) (*Min
 		if err != nil {
 			return nil, err
 		}
-		return eng.Run()
+		return eng.Run(context.Background())
 	}
 
 	// Exponential search for an upper bound that satisfies the target.

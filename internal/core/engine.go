@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -55,10 +57,14 @@ type Result struct {
 	Regions [][]geom.Polygon
 }
 
-// MaxRadius returns max_i r*_i — the paper's objective R.
+// MaxRadius returns max_i r*_i — the paper's objective R. A degenerate
+// result with no radii reports 0.
 func (r *Result) MaxRadius() float64 {
-	var m float64
-	for _, v := range r.Radii {
+	if len(r.Radii) == 0 {
+		return 0
+	}
+	m := r.Radii[0]
+	for _, v := range r.Radii[1:] {
 		if v > m {
 			m = v
 		}
@@ -66,13 +72,13 @@ func (r *Result) MaxRadius() float64 {
 	return m
 }
 
-// MinRadius returns min_i r*_i.
+// MinRadius returns min_i r*_i. A degenerate result with no radii reports 0.
 func (r *Result) MinRadius() float64 {
 	if len(r.Radii) == 0 {
 		return 0
 	}
-	m := math.Inf(1)
-	for _, v := range r.Radii {
+	m := r.Radii[0]
+	for _, v := range r.Radii[1:] {
 		if v < m {
 			m = v
 		}
@@ -94,7 +100,19 @@ type Engine struct {
 	trace     []RoundStats
 	regions   [][]geom.Polygon // last round's dominating regions
 	prevMsgs  int64
+	// msgBase is the message count carried over from before a Resume; the
+	// live network counter restarts at zero on every (re)construction.
+	msgBase int64
+	// observer, if set, runs after every round of Run with that round's
+	// statistics (see SetObserver).
+	observer func(RoundStats) error
 }
+
+// ErrStop is the sentinel an Observer returns to stop a run early and
+// cleanly: Run finalizes the deployment and returns the partial Result with
+// a nil error. Any other observer error also stops the run but is returned
+// (alongside the partial Result) to the caller.
+var ErrStop = errors.New("core: observer stopped the run")
 
 // New creates an Engine deploying the given initial node positions over reg.
 // Initial positions outside the region are clamped inside.
@@ -280,15 +298,60 @@ func (e *Engine) regionOf(i int, isBoundary []bool, rng *rand.Rand) []geom.Polyg
 	return e.centralizedRegionOf(i)
 }
 
-// Run executes Step until convergence or MaxRounds, then assigns final
-// sensing ranges and returns the Result.
-func (e *Engine) Run() (*Result, error) {
+// SetObserver installs a per-round callback invoked by Run after every
+// completed round, with that round's statistics. The callback runs between
+// rounds, so it may safely inspect the engine, take a Snapshot, or mutate
+// topology (AddNode/RemoveNode for failure injection); determinism is
+// preserved because each round's randomness depends only on (Seed, round,
+// node), never on wall-clock or scheduling. Returning ErrStop ends the run
+// cleanly; returning any other error aborts it with a partial Result. A nil
+// observer removes the callback.
+func (e *Engine) SetObserver(fn func(RoundStats) error) { e.observer = fn }
+
+// Run executes Step until convergence, MaxRounds, ctx cancellation, or an
+// observer-requested stop, then assigns final sensing ranges and returns the
+// Result.
+//
+// Cancellation is checked between rounds: when ctx is done, Run finalizes
+// whatever progress was made and returns the partial Result together with
+// ctx's error, so callers can distinguish an interrupted run (res non-nil,
+// errors.Is(err, context.Canceled) or context.DeadlineExceeded) from a
+// completed one (err == nil). A Snapshot taken after an interrupted Run
+// resumes the remaining rounds bit-identically (see Snapshot/Resume).
+func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	for e.round < e.cfg.MaxRounds {
-		if _, done := e.Step(); done {
+		// Checked at the top (not after Step) so an engine that is already
+		// converged — e.g. resumed from a checkpoint of a finished run —
+		// executes no further rounds, and so that an observer's topology
+		// change (AddNode/RemoveNode), which resets convergence, keeps the
+		// run going.
+		if e.converged {
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			return e.finalizePartial(err)
+		}
+		stats, _ := e.Step()
+		if e.observer != nil {
+			if oerr := e.observer(stats); oerr != nil {
+				if errors.Is(oerr, ErrStop) {
+					return e.Finalize()
+				}
+				return e.finalizePartial(oerr)
+			}
 		}
 	}
 	return e.Finalize()
+}
+
+// finalizePartial packages the current progress as a Result and attaches
+// cause as the run's error.
+func (e *Engine) finalizePartial(cause error) (*Result, error) {
+	res, err := e.Finalize()
+	if err != nil {
+		return nil, err
+	}
+	return res, cause
 }
 
 // Finalize assigns final sensing ranges (line 7 of Algorithm 1) and packages
@@ -313,7 +376,7 @@ func (e *Engine) Finalize() (*Result, error) {
 		Rounds:    e.round,
 		Converged: e.converged,
 		Trace:     append([]RoundStats(nil), e.trace...),
-		Messages:  e.net.Stats().Messages,
+		Messages:  e.msgBase + e.net.Stats().Messages,
 	}
 	if e.cfg.KeepRegions {
 		res.Regions = polysPerNode
@@ -340,6 +403,7 @@ func (e *Engine) RemoveNode(i int) error {
 		return fmt.Errorf("core: removing node %d would leave %d < K=%d nodes", i, len(pos)-1, e.cfg.K)
 	}
 	pos = append(pos[:i], pos[i+1:]...)
+	e.msgBase += e.net.Stats().Messages
 	e.net = wsn.New(pos, e.net.Gamma())
 	e.prevMsgs = 0
 	e.converged = false
@@ -350,6 +414,7 @@ func (e *Engine) RemoveNode(i int) error {
 // is reset.
 func (e *Engine) AddNode(p geom.Point) {
 	pos := append(e.net.Positions(), e.reg.ClampInside(p))
+	e.msgBase += e.net.Stats().Messages
 	e.net = wsn.New(pos, e.net.Gamma())
 	e.prevMsgs = 0
 	e.converged = false

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"laacad/internal/coverage"
@@ -39,7 +40,7 @@ func TestLocalizedWithMessageLossStillCovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run()
+	res, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

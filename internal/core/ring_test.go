@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"laacad/internal/geom"
@@ -100,7 +101,7 @@ func TestSequentialOrderConvergesAndCovers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Run()
+	res, err := eng.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"laacad/internal/region"
+	"laacad/internal/snapshot"
+	"laacad/internal/wsn"
+)
+
+// Checkpoint/resume for the synchronous engine.
+//
+// The engine's complete mutable state is (positions, round counter, trace,
+// convergence flag, message counters) + Config: every random draw comes from
+// a stream derived from (Config.Seed, round, node ID), so no generator state
+// needs to be captured. A run resumed from a Snapshot therefore replays the
+// remaining rounds bit-identically to the uninterrupted run — the PR 1
+// determinism contract extended to interrupted runs.
+//
+// The one non-serializable Config field is the Detector interface: a resumed
+// run gets the default angular-gap detector. Runs using a custom detector
+// must re-install it on the resumed engine before stepping.
+
+// Snapshot captures the engine's state between rounds as a resumable
+// checkpoint. Call it only between Steps (e.g. from an Observer or after Run
+// returns); calling it concurrently with a Step would observe a torn round.
+func (e *Engine) Snapshot() (*snapshot.State, error) {
+	st := snapshot.NewState(snapshot.KindEngine, e.net.Positions())
+	st.Round = e.round
+	st.Converged = e.converged
+	st.Messages = e.msgBase + e.net.Stats().Messages
+	st.Trace = traceToState(e.trace)
+	st.Config = configToState(e.cfg)
+	return st, nil
+}
+
+// Resume reconstructs an engine from a checkpoint over reg. The region must
+// be the one the original run deployed over (checkpoints record only its
+// registered name, not its geometry).
+func Resume(reg *region.Region, st *snapshot.State) (*Engine, error) {
+	if st.Kind != snapshot.KindEngine {
+		return nil, fmt.Errorf("core: cannot resume %q checkpoint with the round engine", st.Kind)
+	}
+	e, err := New(reg, st.Positions(), configFromState(st.Config))
+	if err != nil {
+		return nil, err
+	}
+	e.round = st.Round
+	e.converged = st.Converged
+	e.trace = traceFromState(st.Trace)
+	e.msgBase = st.Messages
+	return e, nil
+}
+
+// configToState extracts the serializable subset of a Config.
+func configToState(c Config) snapshot.ConfigState {
+	return snapshot.ConfigState{
+		K:           c.K,
+		Alpha:       c.Alpha,
+		Epsilon:     c.Epsilon,
+		MaxRounds:   c.MaxRounds,
+		Mode:        int(c.Mode),
+		Order:       int(c.Order),
+		Gamma:       c.Gamma,
+		RingMode:    int(c.RingMode),
+		LossRate:    c.LossRate,
+		LossRetries: c.LossRetries,
+		ArcSamples:  c.ArcSamples,
+		RingCap:     c.RingCap,
+		Seed:        c.Seed,
+		Workers:     c.Workers,
+		KeepRegions: c.KeepRegions,
+	}
+}
+
+// configFromState rebuilds a Config from its serialized form. The Detector
+// is left nil (default).
+func configFromState(s snapshot.ConfigState) Config {
+	return Config{
+		K:           s.K,
+		Alpha:       s.Alpha,
+		Epsilon:     s.Epsilon,
+		MaxRounds:   s.MaxRounds,
+		Mode:        Mode(s.Mode),
+		Order:       UpdateOrder(s.Order),
+		Gamma:       s.Gamma,
+		RingMode:    wsn.RingQueryMode(s.RingMode),
+		LossRate:    s.LossRate,
+		LossRetries: s.LossRetries,
+		ArcSamples:  s.ArcSamples,
+		RingCap:     s.RingCap,
+		Seed:        s.Seed,
+		Workers:     s.Workers,
+		KeepRegions: s.KeepRegions,
+	}
+}
+
+func traceToState(trace []RoundStats) []snapshot.RoundState {
+	out := make([]snapshot.RoundState, len(trace))
+	for i, tr := range trace {
+		out[i] = snapshot.RoundState{
+			Round:           tr.Round,
+			MaxCircumradius: tr.MaxCircumradius,
+			MinCircumradius: tr.MinCircumradius,
+			MaxRhat:         tr.MaxRhat,
+			MaxMove:         tr.MaxMove,
+			Moved:           tr.Moved,
+			Messages:        tr.Messages,
+		}
+	}
+	return out
+}
+
+func traceFromState(trace []snapshot.RoundState) []RoundStats {
+	out := make([]RoundStats, len(trace))
+	for i, tr := range trace {
+		out[i] = RoundStats{
+			Round:           tr.Round,
+			MaxCircumradius: tr.MaxCircumradius,
+			MinCircumradius: tr.MinCircumradius,
+			MaxRhat:         tr.MaxRhat,
+			MaxMove:         tr.MaxMove,
+			Moved:           tr.Moved,
+			Messages:        tr.Messages,
+		}
+	}
+	return out
+}

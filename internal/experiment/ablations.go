@@ -10,7 +10,6 @@ import (
 	"laacad/internal/boundary"
 	"laacad/internal/core"
 	"laacad/internal/coverage"
-	"laacad/internal/region"
 	"laacad/internal/voronoi"
 )
 
@@ -26,7 +25,10 @@ func init() {
 // any α ∈ (0, 1] and notes smaller α converges more slowly but moves more
 // smoothly. We measure rounds-to-converge and the largest single-round move.
 func runAblationAlpha(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
+	reg, uniform, err := resolve("square", "uniform")
+	if err != nil {
+		return nil, err
+	}
 	n, k := 60, 2
 	alphas := []float64{0.25, 0.5, 0.75, 1.0}
 	maxRounds := 400
@@ -34,7 +36,7 @@ func runAblationAlpha(cfg RunConfig) (*Output, error) {
 		n, alphas, maxRounds = 25, []float64{0.5, 1.0}, 200
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 900))
-	start := region.PlaceUniform(reg, n, rng)
+	start := uniform(reg, n, rng)
 
 	out := &Output{
 		Name:  "ablation-alpha",
@@ -60,7 +62,7 @@ func runAblationAlpha(cfg RunConfig) (*Output, error) {
 		if err != nil {
 			return err
 		}
-		results[t], err = eng.Run()
+		results[t], err = eng.Run(cfg.Context())
 		return err
 	}); err != nil {
 		return nil, err
@@ -99,14 +101,17 @@ func runAblationAlpha(cfg RunConfig) (*Output, error) {
 // engines: identical dominating regions for interior nodes, message cost of
 // the expanding-ring search, and end-to-end deployment agreement.
 func runAblationLocalized(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
+	reg, uniform, err := resolve("square", "uniform")
+	if err != nil {
+		return nil, err
+	}
 	n, k := 50, 2
 	gamma := 0.22
 	if cfg.Quick {
 		n = 30
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 910))
-	start := region.PlaceUniform(reg, n, rng)
+	start := uniform(reg, n, rng)
 
 	mk := func(mode core.Mode) (*core.Engine, error) {
 		c := core.DefaultConfig(k)
@@ -128,11 +133,11 @@ func runAblationLocalized(cfg RunConfig) (*Output, error) {
 	}
 
 	// Single-round region agreement for interior nodes.
-	cRes, err := cEng.Run()
+	cRes, err := cEng.Run(cfg.Context())
 	if err != nil {
 		return nil, err
 	}
-	lRes, err := lEng.Run()
+	lRes, err := lEng.Run(cfg.Context())
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +174,10 @@ func runAblationLocalized(cfg RunConfig) (*Output, error) {
 // measure the fraction of nodes whose region area deviates from the
 // centralized reference at each resolution.
 func runAblationArcSamples(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
+	reg, uniform, err := resolve("square", "uniform")
+	if err != nil {
+		return nil, err
+	}
 	n, k := 40, 2
 	gamma := 0.25
 	samples := []int{16, 32, 64, 128}
@@ -177,7 +185,7 @@ func runAblationArcSamples(cfg RunConfig) (*Output, error) {
 		n, samples = 25, []int{16, 64}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 920))
-	start := region.PlaceUniform(reg, n, rng)
+	start := uniform(reg, n, rng)
 
 	// Centralized reference regions.
 	refCfg := core.DefaultConfig(k)
@@ -241,13 +249,16 @@ func runAblationArcSamples(cfg RunConfig) (*Output, error) {
 // runAblationGrid probes the coverage-verification grid: the k-coverage
 // verdict must be stable across sufficiently fine resolutions.
 func runAblationGrid(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
+	reg, _, err := resolve("square", "uniform")
+	if err != nil {
+		return nil, err
+	}
 	n, k := 40, 2
 	resolutions := []int{20, 40, 80, 160}
 	if cfg.Quick {
 		n, resolutions = 25, []int{20, 60}
 	}
-	res, err := deploy(reg, n, k, 1e-3, 250, cfg.Seed+930)
+	res, err := deploy(cfg, "square", n, k, 1e-3, 250, cfg.Seed+930)
 	if err != nil {
 		return nil, err
 	}
@@ -286,14 +297,17 @@ func runAblationGrid(cfg RunConfig) (*Output, error) {
 // algorithms: the direct depth-bounded dominating-region computation versus
 // the full diagram by iterative refinement.
 func runAblationKVor(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
+	reg, uniform, err := resolve("square", "uniform")
+	if err != nil {
+		return nil, err
+	}
 	n := 25
 	ks := []int{1, 2, 3, 4}
 	if cfg.Quick {
 		n, ks = 12, []int{1, 2, 3}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 940))
-	pts := region.PlaceUniform(reg, n, rng)
+	pts := uniform(reg, n, rng)
 	sites := make([]voronoi.Site, n)
 	for i, p := range pts {
 		sites[i] = voronoi.Site{ID: i, Pos: p}

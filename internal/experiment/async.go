@@ -7,7 +7,6 @@ import (
 	"laacad/internal/asciiplot"
 	"laacad/internal/core"
 	"laacad/internal/coverage"
-	"laacad/internal/region"
 	"laacad/internal/sim"
 )
 
@@ -22,13 +21,16 @@ func init() {
 // (the setting the paper describes). All three must reach k-coverage with
 // comparable R*.
 func runAblationAsync(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
+	reg, uniform, err := resolve("square", "uniform")
+	if err != nil {
+		return nil, err
+	}
 	n, k := 50, 2
 	if cfg.Quick {
 		n = 25
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 950))
-	start := region.PlaceUniform(reg, n, rng)
+	start := uniform(reg, n, rng)
 
 	out := &Output{
 		Name:  "ablation-async",
@@ -54,7 +56,7 @@ func runAblationAsync(cfg RunConfig) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := eng.Run()
+		res, err := eng.Run(cfg.Context())
 		if err != nil {
 			return nil, err
 		}

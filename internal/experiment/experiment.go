@@ -7,11 +7,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"laacad/internal/parallel"
+	"laacad/internal/region"
+	"laacad/internal/scenario"
 )
 
 // RunConfig parameterizes a runner invocation.
@@ -26,15 +29,33 @@ type RunConfig struct {
 	// Every trial is seeded independently, so outputs are byte-identical
 	// for any worker count.
 	Workers int
+	// Ctx, when non-nil, cancels in-flight deployments and skips pending
+	// trials — SIGINT on cmd/experiments aborts a sweep mid-deployment
+	// instead of at the next experiment boundary.
+	Ctx context.Context
+}
+
+// Context returns the run's cancellation context (Background if unset).
+func (c RunConfig) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // forTrials fans fn(i) for i in [0, n) across the configured trial workers
 // and returns the first error by trial index. fn must confine its writes to
 // the i-th slot of its outputs so results are deterministic; callers render
-// tables and evaluate shape checks serially afterwards.
+// tables and evaluate shape checks serially afterwards. Trials not yet
+// started when cfg.Ctx is cancelled fail fast with the context error.
 func forTrials(n int, cfg RunConfig, fn func(i int) error) error {
+	ctx := cfg.Context()
 	errs := make([]error, n)
 	parallel.For(n, parallel.Workers(cfg.Workers), func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
 		errs[i] = fn(i)
 	})
 	for _, err := range errs {
@@ -134,10 +155,14 @@ func Run(name string, cfg RunConfig) (*Output, error) {
 	return r(cfg)
 }
 
-// RunAll executes every registered experiment in name order.
+// RunAll executes every registered experiment in name order, stopping at
+// the first cancellation of cfg.Ctx.
 func RunAll(cfg RunConfig) ([]*Output, error) {
 	var outs []*Output
 	for _, n := range Names() {
+		if err := cfg.Context().Err(); err != nil {
+			return outs, err
+		}
 		o, err := Run(n, cfg)
 		if err != nil {
 			return outs, fmt.Errorf("experiment %s: %w", n, err)
@@ -145,6 +170,21 @@ func RunAll(cfg RunConfig) ([]*Output, error) {
 		outs = append(outs, o)
 	}
 	return outs, nil
+}
+
+// resolve returns the named region and placement from the scenario
+// registry; the harness resolves all geometry by name, the same way the
+// CLIs do, instead of hand-wiring constructors.
+func resolve(regionName, placementName string) (*region.Region, scenario.PlacementFunc, error) {
+	reg, err := scenario.LookupRegion(regionName)
+	if err != nil {
+		return nil, nil, err
+	}
+	place, err := scenario.LookupPlacement(placementName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return reg, place, nil
 }
 
 // check is a small helper to build Check values.

@@ -8,7 +8,6 @@ import (
 	"laacad/internal/core"
 	"laacad/internal/coverage"
 	"laacad/internal/geom"
-	"laacad/internal/region"
 	"laacad/internal/wsn"
 )
 
@@ -26,7 +25,10 @@ func init() {
 //  2. with a sensing range too small for full k-coverage, the k-covered
 //     fraction of a LAACAD deployment must beat random placement.
 func runExtraMaxCov(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
+	reg, uniform, err := resolve("square", "uniform")
+	if err != nil {
+		return nil, err
+	}
 	out := &Output{
 		Name:  "extra-maxcov",
 		Title: "LAACAD as an approximation to maximum k-coverage (Sec. IV-C)",
@@ -35,7 +37,7 @@ func runExtraMaxCov(cfg RunConfig) (*Output, error) {
 
 	// Part 1: three nodes, 3-coverage → co-location at the area's center.
 	rng := rand.New(rand.NewSource(cfg.Seed + 700))
-	three := region.PlaceUniform(reg, 3, rng)
+	three := uniform(reg, 3, rng)
 	c3 := core.DefaultConfig(3)
 	c3.Epsilon = 1e-4
 	c3.MaxRounds = 100
@@ -44,7 +46,7 @@ func runExtraMaxCov(cfg RunConfig) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	res3, err := eng.Run()
+	res3, err := eng.Run(cfg.Context())
 	if err != nil {
 		return nil, err
 	}
@@ -78,8 +80,8 @@ func runExtraMaxCov(cfg RunConfig) (*Output, error) {
 		n = 25
 	}
 	rng2 := rand.New(rand.NewSource(cfg.Seed + 701))
-	start := region.PlaceUniform(reg, n, rng2)
-	res, err := deploy(reg, n, k, 1e-3, 250, cfg.Seed+702)
+	start := uniform(reg, n, rng2)
+	res, err := deploy(cfg, "square", n, k, 1e-3, 250, cfg.Seed+702)
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +114,6 @@ func runExtraMaxCov(cfg RunConfig) (*Output, error) {
 // R_t ≥ 2·R_s result). At γ = R* exactly, connectivity is reported as data:
 // a min-max-balanced deployment can leave inter-group gaps just above R*.
 func runExtraConnectivity(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
 	ks := []int{2, 3, 4}
 	n := 80
 	if cfg.Quick {
@@ -126,7 +127,7 @@ func runExtraConnectivity(cfg RunConfig) (*Output, error) {
 	rows := [][]string{}
 	csv := [][]string{{"k", "r_star", "connected_at_2R", "connected_at_R", "min_degree_2R", "mean_degree_2R"}}
 	for _, k := range ks {
-		res, err := deploy(reg, n, k, 1e-3, 250, cfg.Seed+int64(800+k))
+		res, err := deploy(cfg, "square", n, k, 1e-3, 250, cfg.Seed+int64(800+k))
 		if err != nil {
 			return nil, err
 		}

@@ -26,14 +26,17 @@ func init() {
 // runFig1 regenerates Fig. 1: k-order Voronoi partitions (k = 1..4) of 30
 // random nodes, verifying the structural invariants of the diagrams.
 func runFig1(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
+	reg, uniform, err := resolve("square", "uniform")
+	if err != nil {
+		return nil, err
+	}
 	n := 30
 	ks := []int{1, 2, 3, 4}
 	if cfg.Quick {
 		n, ks = 15, []int{1, 2, 3}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 100))
-	pts := region.PlaceUniform(reg, n, rng)
+	pts := uniform(reg, n, rng)
 	sites := make([]voronoi.Site, n)
 	for i, p := range pts {
 		sites[i] = voronoi.Site{ID: i, Pos: p}
@@ -146,7 +149,10 @@ func runFig2(cfg RunConfig) (*Output, error) {
 var fig5Cache = map[string]map[int]*core.Result{}
 
 func cornerDeployments(cfg RunConfig) (map[int]*core.Result, *region.Region, []geom.Point, []int, error) {
-	reg := region.UnitSquareKm()
+	reg, corner, err := resolve("square", "corner")
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
 	n := 100
 	ks := []int{1, 2, 3, 4}
 	maxRounds := 300
@@ -155,7 +161,7 @@ func cornerDeployments(cfg RunConfig) (map[int]*core.Result, *region.Region, []g
 	}
 	key := fmt.Sprintf("%v-%d", cfg.Quick, cfg.Seed)
 	rng := rand.New(rand.NewSource(cfg.Seed + 500))
-	start := region.PlaceCorner(reg, n, 0.1, rng)
+	start := corner(reg, n, rng)
 	if res, ok := fig5Cache[key]; ok {
 		return res, reg, start, ks, nil
 	}
@@ -169,7 +175,7 @@ func cornerDeployments(cfg RunConfig) (map[int]*core.Result, *region.Region, []g
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		res, err := eng.Run()
+		res, err := eng.Run(cfg.Context())
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
@@ -243,7 +249,10 @@ func runFig5(cfg RunConfig) (*Output, error) {
 // pairStability seeds 2-node groups with small jitter, runs LAACAD for k=2,
 // and returns the final cluster ratio and R*.
 func pairStability(cfg RunConfig) (float64, float64, error) {
-	reg := region.UnitSquareKm()
+	reg, _, err := resolve("square", "uniform")
+	if err != nil {
+		return 0, 0, err
+	}
 	pairSites := 50
 	if cfg.Quick {
 		pairSites = 30
@@ -263,7 +272,7 @@ func pairStability(cfg RunConfig) (float64, float64, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := eng.Run()
+	res, err := eng.Run(cfg.Context())
 	if err != nil {
 		return 0, 0, err
 	}

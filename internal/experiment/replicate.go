@@ -5,7 +5,6 @@ import (
 
 	"laacad/internal/asciiplot"
 	"laacad/internal/coverage"
-	"laacad/internal/region"
 	"laacad/internal/stats"
 )
 
@@ -19,7 +18,10 @@ func init() {
 // A well-behaved algorithm shows a small coefficient of variation, and every
 // replicate must k-cover.
 func runReplication(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
+	reg, _, err := resolve("square", "uniform")
+	if err != nil {
+		return nil, err
+	}
 	n, k := 60, 2
 	seeds := 10
 	if cfg.Quick {
@@ -40,7 +42,7 @@ func runReplication(cfg RunConfig) (*Output, error) {
 	}
 	reps := make([]replica, seeds)
 	if err := forTrials(seeds, cfg, func(s int) error {
-		res, err := deploy(reg, n, k, 1e-3, 300, cfg.Seed+int64(1000+s))
+		res, err := deploy(cfg, "square", n, k, 1e-3, 300, cfg.Seed+int64(1000+s))
 		if err != nil {
 			return err
 		}

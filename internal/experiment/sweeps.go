@@ -13,6 +13,7 @@ import (
 	"laacad/internal/energy"
 	"laacad/internal/geom"
 	"laacad/internal/region"
+	"laacad/internal/scenario"
 )
 
 func init() {
@@ -20,27 +21,34 @@ func init() {
 	register("table1", runTable1)
 	register("table2", runTable2)
 	register("fig8", runFig8)
+
+	// The effective-area regions of Tables I/II (the paper's numbers are
+	// consistent with |A| = 10⁴ m²; quick mode shrinks to 2.5·10³ m²).
+	// Registering them means every harness deployment — like the CLIs —
+	// resolves its geometry from the scenario registry by name.
+	scenario.RegisterRegion("square100m", func() *region.Region { return region.Rect(0, 0, 100, 100) })
+	scenario.RegisterRegion("square50m", func() *region.Region { return region.Rect(0, 0, 50, 50) })
 }
 
-// deploy runs one LAACAD deployment with the harness conventions.
-func deploy(reg *region.Region, n, k int, eps float64, maxRounds int, seed int64) (*core.Result, error) {
-	rng := rand.New(rand.NewSource(seed))
-	start := region.PlaceUniform(reg, n, rng)
+// deploy runs one uniform-start LAACAD deployment with the harness
+// conventions: the region resolves from the scenario registry by name, and
+// the run is cancellable through cfg.Ctx.
+func deploy(cfg RunConfig, regionName string, n, k int, eps float64, maxRounds int, seed int64) (*core.Result, error) {
 	c := core.DefaultConfig(k)
 	c.Epsilon = eps
 	c.MaxRounds = maxRounds
 	c.Seed = seed
-	eng, err := core.New(reg, start, c)
-	if err != nil {
-		return nil, err
-	}
-	return eng.Run()
+	return scenario.Run(cfg.Context(), scenario.Scenario{
+		Region:    regionName,
+		Placement: "uniform",
+		N:         n,
+		Config:    c,
+	})
 }
 
 // runFig7 regenerates Fig. 7: maximum and total sensing load versus network
 // size for k = 1..4 with E(r) = πr² over the 1 km² area.
 func runFig7(cfg RunConfig) (*Output, error) {
-	reg := region.UnitSquareKm()
 	sizes := []int{20, 60, 100, 140, 180}
 	ks := []int{1, 2, 3, 4}
 	maxRounds := 200
@@ -61,7 +69,7 @@ func runFig7(cfg RunConfig) (*Output, error) {
 	results := make([]*core.Result, len(ks)*len(sizes))
 	err := forTrials(len(results), cfg, func(t int) error {
 		k, n := ks[t/len(sizes)], sizes[t%len(sizes)]
-		res, err := deploy(reg, n, k, 1e-3, maxRounds, cfg.Seed+int64(1000*k+n))
+		res, err := deploy(cfg, "square", n, k, 1e-3, maxRounds, cfg.Seed+int64(1000*k+n))
 		if err != nil {
 			return err
 		}
@@ -145,14 +153,17 @@ func runFig7(cfg RunConfig) (*Output, error) {
 // consistent with an effective |A| = 10⁴ m² (100 m × 100 m, R* in meters);
 // we use that area so the magnitudes line up (see EXPERIMENTS.md).
 func runTable1(cfg RunConfig) (*Output, error) {
-	side := 100.0
+	regName := "square100m"
 	sizes := []int{1000, 1200, 1400, 1600}
 	maxRounds := 400
 	eps := 0.01
 	if cfg.Quick {
-		side, sizes, maxRounds = 50.0, []int{250, 350}, 150
+		regName, sizes, maxRounds = "square50m", []int{250, 350}, 150
 	}
-	reg := region.Rect(0, 0, side, side)
+	reg, err := scenario.LookupRegion(regName)
+	if err != nil {
+		return nil, err
+	}
 	out := &Output{
 		Name:  "table1",
 		Title: "min-node 2-coverage vs Bai et al. bound (Table I)",
@@ -164,6 +175,10 @@ func runTable1(cfg RunConfig) (*Output, error) {
 	type table1Trial struct {
 		rStar, overhead float64
 		rep             coverage.Report
+	}
+	uniform, err := scenario.LookupPlacement("uniform")
+	if err != nil {
+		return nil, err
 	}
 	runOne := func(n int, paired bool) (table1Trial, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
@@ -178,7 +193,7 @@ func runTable1(cfg RunConfig) (*Output, error) {
 			}
 			start = start[:n]
 		} else {
-			start = region.PlaceUniform(reg, n, rng)
+			start = uniform(reg, n, rng)
 		}
 		c := core.DefaultConfig(2)
 		c.Alpha = 1 // fastest convergence; Prop. 4 covers α=1
@@ -189,7 +204,7 @@ func runTable1(cfg RunConfig) (*Output, error) {
 		if err != nil {
 			return table1Trial{}, err
 		}
-		res, err := eng.Run()
+		res, err := eng.Run(cfg.Context())
 		if err != nil {
 			return table1Trial{}, err
 		}
@@ -255,14 +270,16 @@ func runTable1(cfg RunConfig) (*Output, error) {
 // Das Reuleaux-lens deployment node count for k = 3..8 (same effective area
 // convention as Table I).
 func runTable2(cfg RunConfig) (*Output, error) {
-	side := 100.0
 	n := 180
 	ks := []int{3, 4, 5, 6, 7, 8}
 	maxRounds := 250
 	if cfg.Quick {
 		ks, maxRounds = []int{3, 4}, 100
 	}
-	reg := region.Rect(0, 0, side, side)
+	reg, err := scenario.LookupRegion("square100m")
+	if err != nil {
+		return nil, err
+	}
 	out := &Output{
 		Name:  "table2",
 		Title: "k-coverage with 180 nodes vs Ammari lens deployment (Table II)",
@@ -274,7 +291,7 @@ func runTable2(cfg RunConfig) (*Output, error) {
 	csv := [][]string{{"k", "r_star", "paper_r_star", "ammari_n_star", "advantage"}}
 	results := make([]*core.Result, len(ks))
 	if err := forTrials(len(ks), cfg, func(t int) error {
-		res, err := deploy(reg, n, ks[t], 0.02, maxRounds, cfg.Seed+int64(10*ks[t]))
+		res, err := deploy(cfg, "square100m", n, ks[t], 0.02, maxRounds, cfg.Seed+int64(10*ks[t]))
 		results[t] = res
 		return err
 	}); err != nil {
@@ -316,12 +333,23 @@ func runFig8(cfg RunConfig) (*Output, error) {
 	if cfg.Quick {
 		n, ks, maxRounds = 50, []int{2}, 120
 	}
+	// Both obstacle regions resolve from the scenario registry — the same
+	// definitions cmd/laacad's -region flag and the built-in "obstacle1"/
+	// "obstacles2" scenarios use.
 	scenarios := []struct {
-		name string
-		reg  *region.Region
+		name    string
+		regName string
+		reg     *region.Region
 	}{
-		{"I: square + circular obstacle", region.SquareWithCircularObstacle(geom.Pt(0.5, 0.5), 0.15)},
-		{"II: square + two obstacles", region.SquareWithTwoObstacles()},
+		{name: "I: square + circular obstacle", regName: "obstacle1"},
+		{name: "II: square + two obstacles", regName: "obstacles2"},
+	}
+	for i := range scenarios {
+		reg, err := scenario.LookupRegion(scenarios[i].regName)
+		if err != nil {
+			return nil, err
+		}
+		scenarios[i].reg = reg
 	}
 	out := &Output{
 		Name:  "fig8",
@@ -337,7 +365,7 @@ func runFig8(cfg RunConfig) (*Output, error) {
 	trials := make([]fig8Trial, len(scenarios)*len(ks))
 	if err := forTrials(len(trials), cfg, func(t int) error {
 		sc, k := scenarios[t/len(ks)], ks[t%len(ks)]
-		res, err := deploy(sc.reg, n, k, 1e-3, maxRounds, cfg.Seed+int64(100*k))
+		res, err := deploy(cfg, sc.regName, n, k, 1e-3, maxRounds, cfg.Seed+int64(100*k))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,317 @@
+// Package scenario turns a LAACAD run into a single replayable value.
+//
+// A Scenario bundles everything that defines a deployment — the target
+// region, the initial-placement generator, the node count, and the engine
+// configuration — referenced by name through three registries (regions,
+// placements, scenarios) so that the CLIs, the experiment harness, and
+// library users all resolve the same definitions instead of hand-wiring
+// geometry and parameters. Because every ingredient is named and every
+// random draw derives from the scenario's seed, a Scenario value (or its
+// name plus overrides) is sufficient to reproduce a run bit-exactly on any
+// machine.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"laacad/internal/core"
+	"laacad/internal/geom"
+	"laacad/internal/region"
+	"laacad/internal/sim"
+)
+
+// RegionFunc constructs a named target region.
+type RegionFunc func() *region.Region
+
+// PlacementFunc generates n initial node positions over a region. The rng
+// is the only randomness source a placement may use, so placements are
+// replayable from the scenario seed.
+type PlacementFunc func(r *region.Region, n int, rng *rand.Rand) []geom.Point
+
+// Scenario is a complete, replayable deployment definition.
+type Scenario struct {
+	// Name is the registry key; empty for ad-hoc scenarios.
+	Name string
+	// Description is a one-line summary shown by listings.
+	Description string
+	// Region names the target area (see RegionNames).
+	Region string
+	// Placement names the initial-deployment generator (see PlacementNames).
+	Placement string
+	// N is the number of nodes.
+	N int
+	// Config parameterizes the synchronous round engine. Config.Seed also
+	// drives the placement generator, so (Scenario, nothing else) decides
+	// the entire run.
+	Config core.Config
+	// Async switches the run to the event-driven simulator, parameterized
+	// by AsyncConfig (whose Seed then drives the placement instead).
+	Async bool
+	// AsyncConfig parameterizes the event-driven simulator (Async == true).
+	AsyncConfig sim.Config
+}
+
+// Seed returns the seed the scenario's randomness derives from.
+func (s Scenario) Seed() int64 {
+	if s.Async {
+		return s.AsyncConfig.Seed
+	}
+	return s.Config.Seed
+}
+
+// WithSeed returns a copy of the scenario reseeded to seed (both the
+// placement and the engine draw from it).
+func (s Scenario) WithSeed(seed int64) Scenario {
+	s.Config.Seed = seed
+	s.AsyncConfig.Seed = seed
+	return s
+}
+
+// BuildRegion resolves and constructs the scenario's region.
+func (s Scenario) BuildRegion() (*region.Region, error) {
+	return LookupRegion(s.Region)
+}
+
+// Initial generates the scenario's initial node positions over reg.
+func (s Scenario) Initial(reg *region.Region) ([]geom.Point, error) {
+	place, err := LookupPlacement(s.Placement)
+	if err != nil {
+		return nil, err
+	}
+	if s.N < 1 {
+		return nil, fmt.Errorf("scenario: need at least 1 node, got %d", s.N)
+	}
+	return place(reg, s.N, rand.New(rand.NewSource(s.Seed()))), nil
+}
+
+// Registries. All three are safe for concurrent use; built-ins are
+// installed at package init and may be extended (or shadowed) by callers.
+var (
+	mu         sync.RWMutex
+	regions    = map[string]RegionFunc{}
+	placements = map[string]PlacementFunc{}
+	scenarios  = map[string]Scenario{}
+)
+
+// RegisterRegion installs (or replaces) a named region constructor.
+func RegisterRegion(name string, fn RegionFunc) {
+	if name == "" || fn == nil {
+		panic("scenario: RegisterRegion with empty name or nil constructor")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	regions[name] = fn
+}
+
+// LookupRegion builds the named region.
+func LookupRegion(name string) (*region.Region, error) {
+	mu.RLock()
+	fn, ok := regions[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown region %q (have %v)", name, RegionNames())
+	}
+	return fn(), nil
+}
+
+// RegionNames returns the registered region names, sorted.
+func RegionNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return sortedKeys(regions)
+}
+
+// RegisterPlacement installs (or replaces) a named placement generator.
+func RegisterPlacement(name string, fn PlacementFunc) {
+	if name == "" || fn == nil {
+		panic("scenario: RegisterPlacement with empty name or nil generator")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	placements[name] = fn
+}
+
+// LookupPlacement returns the named placement generator.
+func LookupPlacement(name string) (PlacementFunc, error) {
+	mu.RLock()
+	fn, ok := placements[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown placement %q (have %v)", name, PlacementNames())
+	}
+	return fn, nil
+}
+
+// PlacementNames returns the registered placement names, sorted.
+func PlacementNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return sortedKeys(placements)
+}
+
+// Register installs (or replaces) a named scenario. The scenario's Region
+// and Placement must already be registered.
+func Register(sc Scenario) error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: cannot register a scenario without a name")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := regions[sc.Region]; !ok {
+		return fmt.Errorf("scenario: %q references unknown region %q", sc.Name, sc.Region)
+	}
+	if _, ok := placements[sc.Placement]; !ok {
+		return fmt.Errorf("scenario: %q references unknown placement %q", sc.Name, sc.Placement)
+	}
+	scenarios[sc.Name] = sc
+	return nil
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Scenario, error) {
+	mu.RLock()
+	sc, ok := scenarios[name]
+	mu.RUnlock()
+	if !ok {
+		names := Names()
+		return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, names)
+	}
+	return sc, nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return sortedKeys(scenarios)
+}
+
+// All returns every registered scenario in name order.
+func All() []Scenario {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Scenario, 0, len(scenarios))
+	for _, name := range sortedKeys(scenarios) {
+		out = append(out, scenarios[name])
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mustRegister is the init-time Register that cannot fail.
+func mustRegister(sc Scenario) {
+	if err := Register(sc); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	// Regions: the paper's 1 km² square, the two obstacle variants of
+	// Fig. 8, and the non-convex demo shapes.
+	RegisterRegion("square", region.UnitSquareKm)
+	RegisterRegion("lshape", region.LShape)
+	RegisterRegion("cross", region.Cross)
+	RegisterRegion("obstacle1", func() *region.Region {
+		return region.SquareWithCircularObstacle(geom.Pt(0.5, 0.5), 0.15)
+	})
+	RegisterRegion("obstacles2", region.SquareWithTwoObstacles)
+
+	// Placements.
+	RegisterPlacement("uniform", region.PlaceUniform)
+	RegisterPlacement("corner", func(r *region.Region, n int, rng *rand.Rand) []geom.Point {
+		return region.PlaceCorner(r, n, 0.1, rng)
+	})
+	RegisterPlacement("cluster", func(r *region.Region, n int, rng *rand.Rand) []geom.Point {
+		b := r.BBox()
+		center := geom.Pt((b.Min.X+b.Max.X)/2, (b.Min.Y+b.Max.Y)/2)
+		sigma := minF(b.Width(), b.Height()) / 8
+		return region.PlaceGaussianCluster(r, n, center, sigma, rng)
+	})
+
+	// Scenarios: one per execution regime / figure family of the paper's
+	// evaluation. All default to seed 1; use WithSeed (or edit Config) for
+	// replicates.
+	defaultCfg := func(k int) core.Config {
+		c := core.DefaultConfig(k)
+		c.Seed = 1
+		return c
+	}
+	mustRegister(Scenario{
+		Name:        "uniform",
+		Description: "100 nodes uniform over 1 km², 2-coverage (Fig. 7 regime)",
+		Region:      "square", Placement: "uniform", N: 100,
+		Config: defaultCfg(2),
+	})
+	mustRegister(Scenario{
+		Name:        "corner",
+		Description: "100 nodes piled in a corner, 2-coverage (Fig. 5/6 convergence)",
+		Region:      "square", Placement: "corner", N: 100,
+		Config: defaultCfg(2),
+	})
+	mustRegister(Scenario{
+		Name:        "cluster",
+		Description: "100 nodes air-dropped as a central Gaussian cluster, 2-coverage",
+		Region:      "square", Placement: "cluster", N: 100,
+		Config: defaultCfg(2),
+	})
+	mustRegister(Scenario{
+		Name:        "obstacle1",
+		Description: "120 nodes, square with a circular obstacle, 4-coverage (Fig. 8 I)",
+		Region:      "obstacle1", Placement: "uniform", N: 120,
+		Config: defaultCfg(4),
+	})
+	mustRegister(Scenario{
+		Name:        "obstacles2",
+		Description: "120 nodes, square with two obstacles, 4-coverage (Fig. 8 II)",
+		Region:      "obstacles2", Placement: "uniform", N: 120,
+		Config: defaultCfg(4),
+	})
+	mustRegister(Scenario{
+		Name:        "lshape",
+		Description: "80 nodes over the L-shaped region, 2-coverage",
+		Region:      "lshape", Placement: "uniform", N: 80,
+		Config: defaultCfg(2),
+	})
+	mustRegister(Scenario{
+		Name:        "cross",
+		Description: "80 nodes over the plus-shaped region, 2-coverage",
+		Region:      "cross", Placement: "uniform", N: 80,
+		Config: defaultCfg(2),
+	})
+	localized := defaultCfg(2)
+	localized.Mode = core.Localized
+	localized.Gamma = 0.2
+	mustRegister(Scenario{
+		Name:        "localized",
+		Description: "100 nodes, fully distributed Algorithm 2 with message accounting",
+		Region:      "square", Placement: "uniform", N: 100,
+		Config: localized,
+	})
+	async := sim.DefaultConfig(2)
+	async.Seed = 1
+	mustRegister(Scenario{
+		Name:        "async",
+		Description: "50 nodes on jittered τ-clocks, event-driven execution",
+		Region:      "square", Placement: "uniform", N: 50,
+		Async:       true,
+		AsyncConfig: async,
+	})
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

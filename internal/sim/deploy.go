@@ -1,12 +1,16 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"laacad/internal/core"
 	"laacad/internal/geom"
 	"laacad/internal/region"
+	"laacad/internal/snapshot"
 	"laacad/internal/voronoi"
 	"laacad/internal/wsn"
 )
@@ -94,11 +98,29 @@ type Result struct {
 	TotalTravel float64
 }
 
-// MaxRadius returns the paper's objective R = max_i r_i.
+// MaxRadius returns the paper's objective R = max_i r_i. A degenerate
+// result with no radii reports 0.
 func (r *Result) MaxRadius() float64 {
-	var m float64
-	for _, v := range r.Radii {
+	if len(r.Radii) == 0 {
+		return 0
+	}
+	m := r.Radii[0]
+	for _, v := range r.Radii[1:] {
 		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MinRadius returns min_i r_i. A degenerate result with no radii reports 0.
+func (r *Result) MinRadius() float64 {
+	if len(r.Radii) == 0 {
+		return 0
+	}
+	m := r.Radii[0]
+	for _, v := range r.Radii[1:] {
+		if v < m {
 			m = v
 		}
 	}
@@ -120,6 +142,50 @@ type Deployment struct {
 	settled     int
 	activations int64
 	travel      float64
+
+	// Epoch bookkeeping: the run is segmented into τ-wide epochs, each
+	// reduced to one core.RoundStats entry — the async analogue of a round,
+	// streamed to the observer and archived in the trace.
+	epoch    int
+	acc      epochAcc
+	trace    []core.RoundStats
+	observer func(core.RoundStats) error
+
+	// runCtx and stopErr carry cancellation/early-stop out of event
+	// callbacks; valid only while a Run/RunAsync is executing.
+	runCtx  context.Context
+	stopErr error
+
+	// Resume bases: progress carried over from the checkpoint this
+	// deployment was resumed from (zero for a fresh run).
+	baseTime        float64
+	baseActivations int64
+	baseTravel      float64
+}
+
+// epochAcc accumulates per-activation statistics within one τ epoch.
+type epochAcc struct {
+	maxCR, minCR float64
+	maxRhat      float64
+	maxMove      float64
+	moved        int
+}
+
+func newEpochAcc() epochAcc { return epochAcc{minCR: math.Inf(1)} }
+
+func (a *epochAcc) stats(epoch int) core.RoundStats {
+	st := core.RoundStats{
+		Round:           epoch,
+		MaxCircumradius: a.maxCR,
+		MinCircumradius: a.minCR,
+		MaxRhat:         a.maxRhat,
+		MaxMove:         a.maxMove,
+		Moved:           a.moved,
+	}
+	if math.IsInf(st.MinCircumradius, 1) {
+		st.MinCircumradius = 0
+	}
+	return st
 }
 
 // NewDeployment prepares an asynchronous deployment of the given initial
@@ -145,6 +211,7 @@ func NewDeployment(reg *region.Region, initial []geom.Point, cfg Config) (*Deplo
 		targets:     append([]geom.Point(nil), pos...),
 		lastAdvance: make([]float64, len(initial)),
 		stable:      make([]int, len(initial)),
+		acc:         newEpochAcc(),
 	}
 	// Stagger first activations uniformly across one period so the system
 	// never starts in lock-step.
@@ -152,7 +219,42 @@ func NewDeployment(reg *region.Region, initial []geom.Point, cfg Config) (*Deplo
 		i := i
 		d.sim.Schedule(d.rng.Float64()*cfg.Tau, func() { d.activate(i) })
 	}
+	// Epoch ticks reduce activity into per-τ statistics and are where
+	// cancellation and the observer run. They touch no node state and draw
+	// no randomness, so they do not perturb the deployment's trajectory.
+	d.sim.Schedule(cfg.Tau, d.epochTick)
 	return d, nil
+}
+
+// SetObserver installs a per-epoch callback invoked with each τ epoch's
+// statistics (the async analogue of core.Engine.SetObserver). Returning
+// core.ErrStop halts the run cleanly; any other error halts it and is
+// returned from Run/RunAsync alongside the partial result.
+func (d *Deployment) SetObserver(fn func(core.RoundStats) error) { d.observer = fn }
+
+// epochTick closes the current τ epoch: it flushes the accumulated
+// statistics into the trace, notifies the observer, checks cancellation,
+// and schedules the next tick.
+func (d *Deployment) epochTick() {
+	if d.runCtx != nil {
+		if err := d.runCtx.Err(); err != nil {
+			d.stopErr = err
+			d.sim.Halt()
+			return
+		}
+	}
+	d.epoch++
+	st := d.acc.stats(d.epoch)
+	d.acc = newEpochAcc()
+	d.trace = append(d.trace, st)
+	if d.observer != nil {
+		if err := d.observer(st); err != nil {
+			d.stopErr = err
+			d.sim.Halt()
+			return
+		}
+	}
+	d.sim.Schedule(d.cfg.Tau, d.epochTick)
 }
 
 // activate is one node's periodic action: advance along the current motion
@@ -164,10 +266,20 @@ func (d *Deployment) activate(i int) {
 
 	polys := core.CentralizedDominatingRegion(d.net, d.reg, i, d.cfg.K)
 	if len(polys) > 0 {
-		c, _ := geom.ChebyshevCenter(voronoi.Vertices(polys), d.chey)
+		c, ri := geom.ChebyshevCenter(voronoi.Vertices(polys), d.chey)
 		c = d.reg.ClampInside(c)
 		ui := d.net.Position(i)
+		if ri > d.acc.maxCR {
+			d.acc.maxCR = ri
+		}
+		if ri < d.acc.minCR {
+			d.acc.minCR = ri
+		}
+		if rhat := voronoi.MaxDistFrom(ui, polys); rhat > d.acc.maxRhat {
+			d.acc.maxRhat = rhat
+		}
 		if ui.Dist(c) > d.cfg.Epsilon {
+			d.acc.moved++
 			target := ui.Add(c.Sub(ui).Scale(d.cfg.Alpha))
 			d.targets[i] = d.reg.ClampInside(target)
 			if d.stable[i] >= d.cfg.StableActivations {
@@ -211,27 +323,151 @@ func (d *Deployment) advance(i int) {
 	}
 	step := seg.Scale(reach / dist)
 	d.travel += reach
+	if reach > d.acc.maxMove {
+		d.acc.maxMove = reach
+	}
 	d.net.SetPosition(i, d.reg.ClampInside(ui.Add(step)))
 }
 
-// Run executes the deployment until convergence or MaxTime and returns the
-// result with final sensing ranges.
-func (d *Deployment) Run() (*Result, error) {
+// RunAsync executes the deployment until convergence, MaxTime, ctx
+// cancellation, or an observer-requested stop, and returns the
+// async-flavored result (simulated time, activation count, travel).
+//
+// As with core.Engine.Run, cancellation yields the partial Result together
+// with ctx's error; an observer returning core.ErrStop yields the partial
+// Result with a nil error. Cancellation is checked at τ-epoch boundaries.
+func (d *Deployment) RunAsync(ctx context.Context) (*Result, error) {
+	d.runCtx = ctx
+	d.stopErr = nil
 	d.sim.Run(d.cfg.MaxTime)
+	d.runCtx = nil
 	n := d.net.Len()
 	radii := make([]float64, n)
 	for i := 0; i < n; i++ {
 		polys := core.CentralizedDominatingRegion(d.net, d.reg, i, d.cfg.K)
 		radii[i] = voronoi.MaxDistFrom(d.net.Position(i), polys)
 	}
-	return &Result{
+	res := &Result{
 		Positions:   d.net.Positions(),
 		Radii:       radii,
-		Time:        d.sim.Now(),
-		Activations: d.activations,
+		Time:        d.baseTime + d.sim.Now(),
+		Activations: d.baseActivations + d.activations,
 		Converged:   d.settled == n,
-		TotalTravel: d.travel,
-	}, nil
+		TotalTravel: d.baseTravel + d.travel,
+	}
+	err := d.stopErr
+	if errors.Is(err, core.ErrStop) {
+		err = nil
+	}
+	return res, err
+}
+
+// Run executes the deployment and packages the outcome in the unified
+// result form shared with the synchronous engine, with τ epochs playing the
+// role of rounds: Rounds is the number of completed epochs and Trace holds
+// one entry per epoch. Use RunAsync for the async-specific measures
+// (simulated time, activations, travel).
+func (d *Deployment) Run(ctx context.Context) (*core.Result, error) {
+	ar, err := d.RunAsync(ctx)
+	if ar == nil {
+		return nil, err
+	}
+	return &core.Result{
+		Positions: ar.Positions,
+		Radii:     ar.Radii,
+		Rounds:    d.epoch,
+		Converged: ar.Converged,
+		Trace:     append([]core.RoundStats(nil), d.trace...),
+	}, err
+}
+
+// Trace returns the per-epoch statistics collected so far.
+func (d *Deployment) Trace() []core.RoundStats { return d.trace }
+
+// Snapshot captures the deployment's positions and progress as a resumable
+// checkpoint. Unlike the synchronous engine's checkpoints, async checkpoints
+// are positional: the pending event queue and clock-jitter generator state
+// are not serializable, so Resume continues from the saved positions with
+// freshly staggered clocks. The fixed points (and hence final coverage) are
+// the same; the activation-by-activation event sequence is not.
+func (d *Deployment) Snapshot() (*snapshot.State, error) {
+	st := snapshot.NewState(snapshot.KindAsync, d.net.Positions())
+	st.Round = d.epoch
+	st.Converged = d.settled == d.net.Len()
+	st.Time = d.baseTime + d.sim.Now()
+	st.Activations = d.baseActivations + d.activations
+	st.Travel = d.baseTravel + d.travel
+	st.Trace = make([]snapshot.RoundState, len(d.trace))
+	for i, tr := range d.trace {
+		st.Trace[i] = snapshot.RoundState{
+			Round:           tr.Round,
+			MaxCircumradius: tr.MaxCircumradius,
+			MinCircumradius: tr.MinCircumradius,
+			MaxRhat:         tr.MaxRhat,
+			MaxMove:         tr.MaxMove,
+			Moved:           tr.Moved,
+		}
+	}
+	st.Config = snapshot.ConfigState{
+		K:       d.cfg.K,
+		Alpha:   d.cfg.Alpha,
+		Epsilon: d.cfg.Epsilon,
+		Seed:    d.cfg.Seed,
+		Tau:     d.cfg.Tau,
+		Jitter:  d.cfg.Jitter,
+		Speed:   d.cfg.Speed,
+		// The checkpoint records the run's ORIGINAL time budget: for a
+		// resumed deployment d.cfg.MaxTime is only the remaining slice, so
+		// re-add the time consumed before this generation. Resume then
+		// subtracts the cumulative st.Time exactly once.
+		MaxTime:           d.baseTime + d.cfg.MaxTime,
+		StableActivations: d.cfg.StableActivations,
+	}
+	return st, nil
+}
+
+// Resume reconstructs an asynchronous deployment from a checkpoint over
+// reg. The remaining simulated-time budget is the original MaxTime minus
+// the time already consumed; progress counters (time, activations, travel)
+// continue from the checkpointed values.
+func Resume(reg *region.Region, st *snapshot.State) (*Deployment, error) {
+	if st.Kind != snapshot.KindAsync {
+		return nil, fmt.Errorf("sim: cannot resume %q checkpoint with the async simulator", st.Kind)
+	}
+	cfg := Config{
+		K:                 st.Config.K,
+		Alpha:             st.Config.Alpha,
+		Epsilon:           st.Config.Epsilon,
+		Seed:              st.Config.Seed,
+		Tau:               st.Config.Tau,
+		Jitter:            st.Config.Jitter,
+		Speed:             st.Config.Speed,
+		MaxTime:           st.Config.MaxTime - st.Time,
+		StableActivations: st.Config.StableActivations,
+	}
+	if cfg.MaxTime <= 0 {
+		return nil, fmt.Errorf("sim: checkpoint has no remaining time budget (t=%v of %v)", st.Time, st.Config.MaxTime)
+	}
+	d, err := NewDeployment(reg, st.Positions(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.baseTime = st.Time
+	d.baseActivations = st.Activations
+	d.baseTravel = st.Travel
+	d.epoch = st.Round
+	d.trace = make([]core.RoundStats, len(st.Trace))
+	for i, tr := range st.Trace {
+		d.trace[i] = core.RoundStats{
+			Round:           tr.Round,
+			MaxCircumradius: tr.MaxCircumradius,
+			MinCircumradius: tr.MinCircumradius,
+			MaxRhat:         tr.MaxRhat,
+			MaxMove:         tr.MaxMove,
+			Moved:           tr.Moved,
+		}
+	}
+	return d, nil
 }
 
 // Deploy is the one-call asynchronous entry point.
@@ -240,5 +476,5 @@ func Deploy(reg *region.Region, initial []geom.Point, cfg Config) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return d.Run()
+	return d.RunAsync(context.Background())
 }

@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
+	"laacad/internal/core"
 	"laacad/internal/coverage"
 	"laacad/internal/geom"
 	"laacad/internal/region"
@@ -193,6 +196,75 @@ func TestAsyncDeterminism(t *testing.T) {
 		if !a.Positions[i].Eq(b.Positions[i]) {
 			t.Fatalf("position %d differs", i)
 		}
+	}
+}
+
+// A checkpoint must always record the run's ORIGINAL time budget, even
+// across multiple checkpoint/resume generations: storing the remaining
+// slice instead would double-subtract the time already consumed.
+func TestAsyncSnapshotPreservesOriginalMaxTime(t *testing.T) {
+	reg := region.UnitSquareKm()
+	cfg := DefaultConfig(1)
+	cfg.Speed = 1e-6 // crawl: the run never converges inside the budget
+	cfg.MaxTime = 50
+	cfg.Seed = 14
+
+	stopAfter := func(d *Deployment, epochs int) {
+		d.SetObserver(func(st core.RoundStats) error {
+			if st.Round >= epochs {
+				return core.ErrStop
+			}
+			return nil
+		})
+	}
+
+	d, err := NewDeployment(reg, asyncStart(6, 15), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopAfter(d, 10)
+	if _, err := d.RunAsync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Config.MaxTime != 50 || st1.Time < 9 {
+		t.Fatalf("gen-1 checkpoint: MaxTime=%v Time=%v, want 50 and ≈10", st1.Config.MaxTime, st1.Time)
+	}
+
+	// Second generation: resume, run 10 more epochs, checkpoint again.
+	d2, err := Resume(reg, st1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopAfter(d2, st1.Round+10)
+	if _, err := d2.RunAsync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := d2.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Config.MaxTime != 50 {
+		t.Fatalf("gen-2 checkpoint lost the original budget: MaxTime=%v, want 50", st2.Config.MaxTime)
+	}
+	if st2.Time <= st1.Time {
+		t.Fatalf("cumulative time did not advance: %v then %v", st1.Time, st2.Time)
+	}
+
+	// Third generation still has the correct remainder available.
+	d3, err := Resume(reg, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d3.RunAsync(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time < 49.9 || res.Time > 50.1 {
+		t.Fatalf("final cumulative time %v, want ≈50 (the original budget)", res.Time)
 	}
 }
 

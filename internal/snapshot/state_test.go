@@ -1,0 +1,93 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"laacad/internal/geom"
+)
+
+func sampleState() *State {
+	st := NewState(KindEngine, []geom.Point{
+		geom.Pt(0.1, 0.2),
+		// Awkward floats must survive the JSON trip bit-exactly.
+		geom.Pt(1.0/3.0, math.Nextafter(0.7, 1)),
+	})
+	st.Scenario = "corner"
+	st.Region = "square"
+	st.Round = 17
+	st.Messages = 123
+	st.Trace = []RoundState{
+		{Round: 1, MaxCircumradius: 0.9, MinCircumradius: 0.1, MaxRhat: 1.1, MaxMove: 0.05, Moved: 2, Messages: 7},
+	}
+	st.Config = ConfigState{K: 2, Alpha: 0.5, Epsilon: 5e-4, MaxRounds: 500, Seed: 42, Workers: -1}
+	return st
+}
+
+func TestStateRoundTripBitExact(t *testing.T) {
+	st := sampleState()
+	var buf bytes.Buffer
+	if err := st.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := st.Positions(), got.Positions()
+	for i := range a {
+		if a[i].X != b[i].X || a[i].Y != b[i].Y {
+			t.Errorf("position %d not bit-exact: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if got.Round != st.Round || got.Messages != st.Messages || got.Scenario != st.Scenario || got.Region != st.Region {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	if len(got.Trace) != 1 || got.Trace[0] != st.Trace[0] {
+		t.Errorf("trace mismatch: %+v", got.Trace)
+	}
+	if got.Config != st.Config {
+		t.Errorf("config mismatch: %+v vs %+v", got.Config, st.Config)
+	}
+}
+
+func TestStateFileRoundTrip(t *testing.T) {
+	st := sampleState()
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != st.Round || len(got.X) != len(st.X) {
+		t.Errorf("file round trip lost data: %+v", got)
+	}
+	if _, err := ReadStateFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestStateValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"bad version", `{"version":99,"kind":"engine","round":0,"x":[],"y":[],"config":{"k":1,"alpha":0.5,"epsilon":1,"seed":0}}`},
+		{"bad kind", `{"version":1,"kind":"warp","round":0,"x":[],"y":[],"config":{"k":1,"alpha":0.5,"epsilon":1,"seed":0}}`},
+		{"mismatched arrays", `{"version":1,"kind":"engine","round":0,"x":[1],"y":[],"config":{"k":1,"alpha":0.5,"epsilon":1,"seed":0}}`},
+		{"bad k", `{"version":1,"kind":"engine","round":0,"x":[],"y":[],"config":{"k":0,"alpha":0.5,"epsilon":1,"seed":0}}`},
+		{"negative round", `{"version":1,"kind":"engine","round":-1,"x":[],"y":[],"config":{"k":1,"alpha":0.5,"epsilon":1,"seed":0}}`},
+		{"unknown field", `{"version":1,"kind":"engine","round":0,"x":[],"y":[],"bogus":1,"config":{"k":1,"alpha":0.5,"epsilon":1,"seed":0}}`},
+		{"not json", `nope`},
+	}
+	for _, tc := range cases {
+		if _, err := ReadState(strings.NewReader(tc.json)); err == nil {
+			t.Errorf("%s: should be rejected", tc.name)
+		}
+	}
+}

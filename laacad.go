@@ -14,19 +14,25 @@
 //
 // # Quick start
 //
-//	reg := laacad.UnitSquareKm()
-//	start := laacad.PlaceUniform(reg, 100, rand.New(rand.NewSource(1)))
-//	cfg := laacad.DefaultConfig(2)
-//	cfg.Workers = -1 // fan each round across all CPUs; same result as serial
-//	res, err := laacad.Deploy(reg, start, cfg)
+// Every execution regime flows through one entry point: a Scenario (a
+// replayable bundle of region, placement, node count and configuration)
+// driven by Run under a context.
+//
+//	sc, err := laacad.LookupScenario("uniform") // 100 nodes, 2-coverage, 1 km²
 //	if err != nil { ... }
+//	res, err := laacad.Run(ctx, sc, laacad.WithWorkers(-1))
+//	if err != nil { ... }
+//	reg, _ := laacad.LookupRegionByName(sc.Region)
 //	rep := laacad.VerifyCoverage(res.Positions, res.Radii, reg, 100)
 //	fmt.Println(res.MaxRadius(), rep.KCovered(2)) // R*, true
 //
-// Use NewEngine for step-by-step control (convergence traces, failure
-// injection), Localized mode for the fully distributed Algorithm 2 with
-// message accounting, and the baseline helpers to reproduce the paper's
-// Table I/II comparisons.
+// Cancelling ctx returns a partial Result; WithObserver streams per-round
+// statistics (and enables early stop and failure injection mid-run);
+// Runner.Snapshot/Resume checkpoint and continue a run bit-identically.
+// See scenario.go for the full Scenario/Runner surface, NewEngine for
+// step-by-step control, Localized mode for the fully distributed
+// Algorithm 2 with message accounting, and the baseline helpers for the
+// paper's Table I/II comparisons.
 //
 // # Parallelism and determinism
 //
@@ -48,6 +54,7 @@
 package laacad
 
 import (
+	"context"
 	"math/rand"
 
 	"laacad/internal/asciiplot"
@@ -189,13 +196,19 @@ func NewEngine(reg *Region, initial []Point, cfg Config) (*Engine, error) {
 }
 
 // Deploy runs LAACAD to convergence (or cfg.MaxRounds) and returns the
-// result — the one-call entry point.
+// result.
+//
+// Deprecated: Deploy predates the unified Scenario/Runner API and cannot
+// be cancelled, observed, or checkpointed. New code should call Run with a
+// Scenario (for explicit positions, build the Engine with NewEngine and
+// drive it via its Runner methods). Deploy remains as a thin wrapper over
+// the same engine path.
 func Deploy(reg *Region, initial []Point, cfg Config) (*Result, error) {
 	eng, err := core.New(reg, initial, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run()
+	return eng.Run(context.Background())
 }
 
 // Coverage verification.
@@ -291,6 +304,11 @@ type AsyncConfig = sim.Config
 // simulated time, activation count and total distance traveled.
 type AsyncResult = sim.Result
 
+// AsyncDeployment is an event-driven deployment in progress; it implements
+// Runner, so laacad.Run drives it through the same interface as the
+// synchronous engine.
+type AsyncDeployment = sim.Deployment
+
 // DefaultAsyncConfig returns asynchronous defaults for coverage order k.
 func DefaultAsyncConfig(k int) AsyncConfig { return sim.DefaultConfig(k) }
 
@@ -298,6 +316,13 @@ func DefaultAsyncConfig(k int) AsyncConfig { return sim.DefaultConfig(k) }
 // node acts on its own jittered τ-clock and moves with finite speed,
 // computing dominating regions from whatever (possibly in-flight) neighbor
 // positions it currently observes.
+//
+// Deprecated: DeployAsync predates the unified Scenario/Runner API and
+// cannot be cancelled, observed, or checkpointed. New code should call Run
+// with a Scenario whose Async flag is set; the async-specific measures
+// (simulated time, activations, travel) come from RunAsync on the
+// AsyncDeployment. DeployAsync remains as a thin wrapper over the same
+// simulator path.
 func DeployAsync(reg *Region, initial []Point, cfg AsyncConfig) (*AsyncResult, error) {
 	return sim.Deploy(reg, initial, cfg)
 }

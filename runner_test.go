@@ -1,0 +1,290 @@
+package laacad
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+// These tests pin the PR's acceptance criteria for the unified
+// Scenario/Runner API: one entry point for both engines, clean
+// cancellation with a partial Result, and bit-identical resume from a
+// checkpoint — including a trip through the on-disk JSON encoding.
+
+// testScenario is a small ad-hoc scenario that converges in a few dozen
+// rounds.
+func testScenario(seed int64) Scenario {
+	cfg := DefaultConfig(2)
+	cfg.Epsilon = 2e-3
+	cfg.MaxRounds = 200
+	cfg.Seed = seed
+	return Scenario{Region: "square", Placement: "uniform", N: 24, Config: cfg}
+}
+
+func sameDeployment(t *testing.T, a, b *Result, label string) {
+	t.Helper()
+	if len(a.Positions) != len(b.Positions) {
+		t.Fatalf("%s: %d vs %d nodes", label, len(a.Positions), len(b.Positions))
+	}
+	for i := range a.Positions {
+		if !a.Positions[i].Eq(b.Positions[i]) {
+			t.Fatalf("%s: position %d differs: %v vs %v", label, i, a.Positions[i], b.Positions[i])
+		}
+		if a.Radii[i] != b.Radii[i] {
+			t.Fatalf("%s: radius %d differs: %v vs %v", label, i, a.Radii[i], b.Radii[i])
+		}
+	}
+}
+
+// TestCancelThenResumeBitIdentical is the acceptance test: cancelling
+// mid-run yields a partial Result, and resuming from the snapshot (after a
+// disk round-trip) finishes with positions and radii bit-identical to an
+// uninterrupted run of the same Scenario.
+func TestCancelThenResumeBitIdentical(t *testing.T) {
+	sc := testScenario(42)
+
+	full, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Converged {
+		t.Fatalf("reference run did not converge in %d rounds", full.Rounds)
+	}
+
+	// Interrupt the same scenario after 5 rounds via context cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := NewRunner(sc, WithObserver(func(_ Runner, st RoundStats) error {
+		if st.Round == 5 {
+			cancel()
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := r.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned err=%v, want context.Canceled", err)
+	}
+	if partial == nil || partial.Rounds != 5 || partial.Converged {
+		t.Fatalf("partial result: %+v", partial)
+	}
+	if len(partial.Positions) != sc.N || len(partial.Radii) != sc.N {
+		t.Fatalf("partial result incomplete: %d positions, %d radii", len(partial.Positions), len(partial.Radii))
+	}
+
+	// Checkpoint the interrupted runner, write it to disk, read it back.
+	st, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Region != "square" || st.Round != 5 {
+		t.Fatalf("checkpoint mislabeled: region=%q round=%d", st.Region, st.Round)
+	}
+	path := filepath.Join(t.TempDir(), "resume.json")
+	if err := st.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Resume(context.Background(), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Rounds != full.Rounds || resumed.Converged != full.Converged {
+		t.Fatalf("resumed run shape differs: rounds %d vs %d, converged %v vs %v",
+			resumed.Rounds, full.Rounds, resumed.Converged, full.Converged)
+	}
+	sameDeployment(t, full, resumed, "resume")
+	// The stitched trace must equal the uninterrupted one round for round.
+	if len(resumed.Trace) != len(full.Trace) {
+		t.Fatalf("trace length %d vs %d", len(resumed.Trace), len(full.Trace))
+	}
+	for i := range full.Trace {
+		if resumed.Trace[i] != full.Trace[i] {
+			t.Fatalf("trace diverges at round %d: %+v vs %+v", i+1, resumed.Trace[i], full.Trace[i])
+		}
+	}
+}
+
+// TestLocalizedCancelResume extends the resume contract to the Localized
+// (Algorithm 2) regime, where rounds also draw message-loss randomness.
+func TestLocalizedCancelResume(t *testing.T) {
+	sc := testScenario(7)
+	sc.N = 20
+	sc.Config.Mode = Localized
+	sc.Config.Gamma = 0.3
+	sc.Config.Epsilon = 3e-3
+
+	full, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := NewRunner(sc, WithObserver(func(_ Runner, st RoundStats) error {
+		if st.Round == 3 {
+			cancel()
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	st, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(context.Background(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDeployment(t, full, resumed, "localized resume")
+}
+
+// TestAsyncThroughRunnerInterface drives the event-driven simulator through
+// the same Run/Runner path as the synchronous engine, and checks that
+// cancellation yields a partial result there too.
+func TestAsyncThroughRunnerInterface(t *testing.T) {
+	sc, err := LookupScenario("async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.N = 12
+	sc.AsyncConfig.Epsilon = 3e-3
+	sc.AsyncConfig.MaxTime = 500
+
+	res, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Positions) != sc.N || res.Rounds == 0 || len(res.Trace) != res.Rounds {
+		t.Fatalf("unified async result malformed: rounds=%d trace=%d", res.Rounds, len(res.Trace))
+	}
+
+	// Cancel after 3 epochs; the partial result must still be usable and
+	// the checkpoint resumable (positionally) through the registry.
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := NewRunner(sc, WithObserver(func(r Runner, st RoundStats) error {
+		if _, ok := AsyncDeploymentOf(r); !ok {
+			t.Error("async runner should unwrap to an AsyncDeployment")
+		}
+		if st.Round == 3 {
+			cancel()
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := r.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if partial == nil || len(partial.Positions) != sc.N {
+		t.Fatalf("partial async result malformed: %+v", partial)
+	}
+	st, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(context.Background(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Converged {
+		t.Errorf("resumed async run did not converge (rounds=%d)", resumed.Rounds)
+	}
+}
+
+// TestObserverTopologyChangesReplayDeterministically injects failures and
+// reinforcements mid-run from the Observer — RemoveNode at round 4, AddNode
+// at round 8 — and asserts the run replays bit-identically across repeats
+// and worker counts (the PR 1 determinism contract under the new API).
+func TestObserverTopologyChangesReplayDeterministically(t *testing.T) {
+	run := func(workers int) *Result {
+		t.Helper()
+		sc := testScenario(11)
+		sc.Config.MaxRounds = 40
+		res, err := Run(context.Background(), sc,
+			WithWorkers(workers),
+			WithObserver(func(r Runner, st RoundStats) error {
+				eng, ok := EngineOf(r)
+				if !ok {
+					t.Fatal("sync runner should unwrap to an Engine")
+				}
+				switch st.Round {
+				case 4:
+					if err := eng.RemoveNode(2); err != nil {
+						return err
+					}
+				case 8:
+					eng.AddNode(Pt(0.25, 0.75))
+				}
+				return nil
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	if len(base.Positions) != 24 { // 24 - 1 + 1
+		t.Fatalf("topology churn lost nodes: %d", len(base.Positions))
+	}
+	sameDeployment(t, base, run(1), "repeat")
+	sameDeployment(t, base, run(-1), "workers")
+}
+
+// TestResumeFinishedRunIsNoOp pins that a checkpoint of an already
+// converged run resumes to the identical Result without executing any
+// further rounds.
+func TestResumeFinishedRunIsNoOp(t *testing.T) {
+	sc := testScenario(13)
+	r, err := NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Converged {
+		t.Fatalf("run did not converge in %d rounds", full.Rounds)
+	}
+	st, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("checkpoint of a finished run should record convergence")
+	}
+	resumed, err := Resume(context.Background(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Rounds != full.Rounds {
+		t.Fatalf("resuming a finished run executed extra rounds: %d vs %d", resumed.Rounds, full.Rounds)
+	}
+	sameDeployment(t, full, resumed, "finished resume")
+}
+
+// TestEmptyRadiiGuards pins the degenerate-result guards on both Result
+// variants.
+func TestEmptyRadiiGuards(t *testing.T) {
+	var r Result
+	if r.MaxRadius() != 0 || r.MinRadius() != 0 {
+		t.Errorf("core empty radii: max=%v min=%v, want 0,0", r.MaxRadius(), r.MinRadius())
+	}
+	var a AsyncResult
+	if a.MaxRadius() != 0 || a.MinRadius() != 0 {
+		t.Errorf("sim empty radii: max=%v min=%v, want 0,0", a.MaxRadius(), a.MinRadius())
+	}
+}
