@@ -38,6 +38,7 @@ func benchStart(reg *Region, n int, seed int64) []Point {
 func BenchmarkFig1KOrderVoronoi(b *testing.B) {
 	reg := UnitSquareKm()
 	sites := benchSites(30, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := KOrderVoronoi(sites, 2, reg); err != nil {
@@ -53,6 +54,7 @@ func BenchmarkFig2ExpandingRing(b *testing.B) {
 	bb := geomBBoxOf(pts)
 	reg := RectRegion(bb.Min.X, bb.Min.Y, bb.Max.X, bb.Max.Y)
 	center := wsn.CenterIndex(pts)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net := wsn.New(pts, 0.05)
@@ -64,8 +66,6 @@ func BenchmarkFig2ExpandingRing(b *testing.B) {
 }
 
 func geomBBoxOf(pts []Point) BBox {
-	bb := pts[0]
-	_ = bb
 	out := BBox{Min: pts[0], Max: pts[0]}
 	for _, p := range pts {
 		out = out.Expand(p)
@@ -79,6 +79,7 @@ func BenchmarkFig5Deployment(b *testing.B) {
 	reg := UnitSquareKm()
 	rng := rand.New(rand.NewSource(3))
 	start := PlaceCorner(reg, 50, 0.1, rng)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(2)
@@ -98,6 +99,7 @@ func BenchmarkFig6Convergence(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Step()
@@ -109,6 +111,7 @@ func BenchmarkFig6Convergence(b *testing.B) {
 func BenchmarkFig7LoadSweep(b *testing.B) {
 	reg := UnitSquareKm()
 	start := benchStart(reg, 100, 5)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(2)
@@ -133,6 +136,7 @@ func BenchmarkTable1MinNode2Coverage(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Step()
@@ -149,6 +153,7 @@ func BenchmarkTable2LensComparison(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Step()
@@ -160,6 +165,7 @@ func BenchmarkTable2LensComparison(b *testing.B) {
 func BenchmarkFig8Obstacles(b *testing.B) {
 	reg := SquareWithTwoObstacles()
 	start := benchStart(reg, 60, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(2)
@@ -178,6 +184,7 @@ func BenchmarkAblationStepSize(b *testing.B) {
 	start := benchStart(reg, 40, 9)
 	for _, alpha := range []float64{0.25, 0.5, 1.0} {
 		b.Run(f64Name(alpha), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := DefaultConfig(2)
 				cfg.Alpha = alpha
@@ -216,6 +223,7 @@ func BenchmarkAblationLocalizedVsCentralized(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				eng.DebugRegions()
@@ -230,6 +238,7 @@ func BenchmarkKOrderVoronoiAlgorithms(b *testing.B) {
 	reg := UnitSquareKm()
 	sites := benchSites(25, 11)
 	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for _, s := range sites {
 				voronoi.DominatingRegion(s, sites, 3, reg.Pieces())
@@ -237,6 +246,7 @@ func BenchmarkKOrderVoronoiAlgorithms(b *testing.B) {
 		}
 	})
 	b.Run("diagram", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := voronoi.KOrderDiagram(sites, 3, reg); err != nil {
 				b.Fatal(err)
@@ -279,6 +289,7 @@ func BenchmarkStepParallel(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					eng.Step()
@@ -300,6 +311,7 @@ func BenchmarkFinalizeParallel(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if regions := eng.DebugRegions(); len(regions) != 500 {
@@ -317,9 +329,10 @@ func BenchmarkWelzl(b *testing.B) {
 	for i := range pts {
 		pts[i] = Pt(rng.Float64(), rng.Float64())
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = SmallestEnclosingCircle(pts, rand.New(rand.NewSource(int64(i))))
+		_ = SmallestEnclosingCircle(pts)
 	}
 }
 
@@ -332,6 +345,7 @@ func BenchmarkCoverageVerify(b *testing.B) {
 	for i := range radii {
 		radii[i] = 0.15
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep := coverage.Verify(start, radii, regionPtr(reg), 100)

@@ -1,0 +1,183 @@
+// Command bench runs the repository's benchmark suite with -benchmem and
+// reduces the output to a machine-readable BENCH_<date>.json — the tracked
+// performance trajectory of the project. Committing the JSON after perf work
+// gives every future PR a baseline to be judged against, and the CI
+// benchmark job uploads it as an artifact on every push.
+//
+// Usage:
+//
+//	go run ./cmd/bench                         # run all benchmarks, write BENCH_<today>.json
+//	go run ./cmd/bench -bench 'StepParallel'   # subset
+//	go run ./cmd/bench -label after-kernel     # annotate the snapshot
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/bench -stdin -out out.json
+//
+// The -stdin mode only reduces (no nested `go test` invocation), which is
+// what CI uses so the benchmarks run exactly once.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one reduced benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped, so
+	// snapshots from machines with different core counts line up.
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the file schema of a BENCH_<date>.json.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	Label      string      `json:"label,omitempty"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchtime  string      `json:"benchtime,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench -benchmem` result rows, e.g.
+//
+//	BenchmarkStepParallel/n=250/workers=1-8   3   5887147 ns/op   224802 B/op   704 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// procSuffix strips the trailing -<GOMAXPROCS> go test appends to names.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark pattern passed to go test -bench")
+		benchtime = flag.String("benchtime", "3x", "go test -benchtime value (Nx for fixed iterations)")
+		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
+		short     = flag.Bool("short", true, "pass -short to go test (skips the slowest paths)")
+		label     = flag.String("label", "", "free-form annotation stored in the snapshot")
+		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		stdin     = flag.Bool("stdin", false, "reduce go test output from stdin instead of running go test")
+	)
+	flag.Parse()
+
+	var raw io.Reader
+	if *stdin {
+		raw = os.Stdin
+	} else {
+		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}
+		if *short {
+			args = append(args, "-short")
+		}
+		args = append(args, *pkg)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		var buf bytes.Buffer
+		cmd.Stdout = io.MultiWriter(&buf, os.Stderr) // stream progress while capturing
+		if err := cmd.Run(); err != nil {
+			// Fail before writing anything: a snapshot reduced from a
+			// partially failed run must never look like a usable baseline.
+			fatal(fmt.Errorf("go test: %w", err))
+		}
+		raw = &buf
+	}
+
+	snap, err := Reduce(raw)
+	if err != nil {
+		fatal(err)
+	}
+	snap.Date = time.Now().UTC().Format("2006-01-02")
+	snap.Label = *label
+	snap.GoVersion = runtime.Version()
+	if !*stdin {
+		snap.Benchtime = *benchtime
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in input"))
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(snap); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(snap.Benchmarks), path)
+}
+
+// Reduce parses `go test -bench -benchmem` output into a Snapshot (without
+// the date/label/version fields, which the caller stamps).
+func Reduce(r io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: procSuffix.ReplaceAllString(m[1], "")}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("bench: parsing %q: %w", line, err)
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, fmt.Errorf("bench: parsing %q: %w", line, err)
+		}
+		if m[4] != "" {
+			bytes, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: parsing %q: %w", line, err)
+			}
+			b.BytesPerOp = int64(bytes)
+		}
+		if m[5] != "" {
+			if b.AllocsPerOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
+				return nil, fmt.Errorf("bench: parsing %q: %w", line, err)
+			}
+		}
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: laacad
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig5Deployment 	       3	 103716472 ns/op	 5360136 B/op	   23017 allocs/op
+BenchmarkStepParallel/n=250/workers=1-8         	       3	   4839431 ns/op	  224802 B/op	     704 allocs/op
+BenchmarkWelzl-8                                	       3	      3048 ns/op	    1024 B/op	       1 allocs/op
+BenchmarkNoMem 	     100	      50.5 ns/op
+PASS
+ok  	laacad	0.528s
+`
+
+func TestReduce(t *testing.T) {
+	snap, err := Reduce(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.GOOS != "linux" || snap.GOARCH != "amd64" {
+		t.Errorf("platform = %s/%s", snap.GOOS, snap.GOARCH)
+	}
+	if !strings.Contains(snap.CPU, "Xeon") {
+		t.Errorf("cpu = %q", snap.CPU)
+	}
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("got %d benchmarks, want 4", len(snap.Benchmarks))
+	}
+	fig5 := snap.Benchmarks[0]
+	if fig5.Name != "BenchmarkFig5Deployment" || fig5.Iterations != 3 ||
+		fig5.NsPerOp != 103716472 || fig5.BytesPerOp != 5360136 || fig5.AllocsPerOp != 23017 {
+		t.Errorf("fig5 parsed as %+v", fig5)
+	}
+	// The -GOMAXPROCS suffix is stripped so snapshots from different
+	// machines line up, but sub-benchmark path components survive.
+	if got := snap.Benchmarks[1].Name; got != "BenchmarkStepParallel/n=250/workers=1" {
+		t.Errorf("sub-benchmark name = %q", got)
+	}
+	if got := snap.Benchmarks[2].Name; got != "BenchmarkWelzl" {
+		t.Errorf("suffix not stripped: %q", got)
+	}
+	// Rows without -benchmem columns still parse.
+	if b := snap.Benchmarks[3]; b.NsPerOp != 50.5 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("no-mem row parsed as %+v", b)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	snap, err := Reduce(strings.NewReader("PASS\nok x 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 0 {
+		t.Errorf("expected no benchmarks, got %d", len(snap.Benchmarks))
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"laacad/internal/geom"
+	"laacad/internal/region"
+)
+
+// runEngine drives a fixed configuration to convergence (or MaxRounds) and
+// returns the trace plus the finalized result for bitwise comparison.
+func runEngine(t *testing.T, reg *region.Region, start []geom.Point, cfg Config) ([]RoundStats, *Result) {
+	t.Helper()
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < cfg.MaxRounds; r++ {
+		if _, done := eng.Step(); done {
+			break
+		}
+	}
+	res, err := eng.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng.Trace(), res
+}
+
+// The dirty-set contract: the incremental engine is semantically invisible.
+// Across seeds, sizes, coverage orders, worker counts and both update
+// orders, the cached engine's trace, final positions and radii are
+// bit-identical to the eager (DisableCache) engine's. This is the
+// equivalence half of the PR's acceptance criteria; the determinism matrix
+// in parallel_test.go covers worker-count invariance.
+func TestDirtySetMatchesEagerEngine(t *testing.T) {
+	reg := region.UnitSquareKm()
+	seeds := []int64{1, 2, 3}
+	sizes := []int{40, 150}
+	ks := []int{1, 2, 3}
+	orders := []UpdateOrder{Synchronous, Sequential}
+	if testing.Short() {
+		seeds, sizes, ks = []int64{1}, []int{40}, []int{2}
+	}
+	for _, seed := range seeds {
+		for _, n := range sizes {
+			for _, k := range ks {
+				for _, order := range orders {
+					seed, n, k, order := seed, n, k, order
+					t.Run(fmt.Sprintf("seed=%d/n=%d/k=%d/%v", seed, n, k, order), func(t *testing.T) {
+						t.Parallel()
+						rng := rand.New(rand.NewSource(seed))
+						start := region.PlaceUniform(reg, n, rng)
+						cfg := DefaultConfig(k)
+						cfg.Epsilon = 1e-3
+						cfg.MaxRounds = 60 // into the converged tail for most cells
+						cfg.Seed = seed
+						cfg.Order = order
+						cfg.DisableCache = true
+						eagerTrace, eagerRes := runEngine(t, reg, start, cfg)
+
+						cfg.DisableCache = false
+						workerCounts := []int{0}
+						if order == Synchronous {
+							workerCounts = append(workerCounts, 3, runtime.NumCPU())
+						}
+						for _, w := range workerCounts {
+							cfg.Workers = w
+							cachedTrace, cachedRes := runEngine(t, reg, start, cfg)
+							assertIdentical(t, fmt.Sprintf("cache-on workers=%d", w),
+								eagerTrace, cachedTrace, eagerRes, cachedRes)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// In the converged tail the cache must actually kick in: stepping a
+// converged engine recomputes nothing, so the trailing rounds are nearly
+// free. This pins the perf mechanism (not just the equivalence) so a
+// regression that silently disables caching fails the suite.
+func TestDirtySetReusesOutcomesWhenConverged(t *testing.T) {
+	reg := region.UnitSquareKm()
+	start := region.PlaceUniform(reg, 60, rand.New(rand.NewSource(5)))
+	cfg := DefaultConfig(2)
+	cfg.Epsilon = 1e-3
+	cfg.MaxRounds = 200
+	cfg.Seed = 5
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	converged := false
+	for r := 0; r < cfg.MaxRounds && !converged; r++ {
+		_, converged = eng.Step()
+	}
+	if !converged {
+		t.Skip("deployment did not converge within MaxRounds; tail unreachable")
+	}
+	valid := 0
+	for i := range eng.cache {
+		if eng.cache[i].valid {
+			valid++
+		}
+	}
+	if valid != len(eng.cache) {
+		t.Fatalf("converged engine has %d/%d valid cache entries, want all", valid, len(eng.cache))
+	}
+	// Further steps must preserve the all-valid cache and the trajectory.
+	before := eng.Positions()
+	eng.Step()
+	for i, p := range eng.Positions() {
+		if p != before[i] {
+			t.Fatalf("node %d moved after convergence", i)
+		}
+	}
+}
+
+// Topology changes (failure injection) rebuild the network; the cache must
+// be discarded, and the resulting run must still match an eager engine
+// subjected to the same mutation schedule.
+func TestDirtySetSurvivesTopologyChange(t *testing.T) {
+	reg := region.UnitSquareKm()
+	start := region.PlaceUniform(reg, 50, rand.New(rand.NewSource(9)))
+	run := func(disable bool) ([]RoundStats, *Result) {
+		cfg := DefaultConfig(2)
+		cfg.Epsilon = 1e-3
+		cfg.MaxRounds = 30
+		cfg.Seed = 9
+		cfg.DisableCache = disable
+		eng, err := New(reg, start, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < cfg.MaxRounds; r++ {
+			if r == 10 {
+				if err := eng.RemoveNode(7); err != nil {
+					t.Fatal(err)
+				}
+				eng.AddNode(geom.Pt(0.9, 0.9))
+			}
+			if _, done := eng.Step(); done {
+				break
+			}
+		}
+		res, err := eng.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Trace(), res
+	}
+	eagerTrace, eagerRes := run(true)
+	cachedTrace, cachedRes := run(false)
+	assertIdentical(t, "topology-change", eagerTrace, cachedTrace, eagerRes, cachedRes)
+}
+
+// Regression: a paired RemoveNode+AddNode restores the node count AND can
+// collide on the fresh network's mutation version (both counters restart at
+// zero), so neither the length check nor the version check alone may be
+// trusted — the swap must drop the cache explicitly. Before the fix, a
+// converged engine (version still zero: no move was ever applied) kept all
+// cache entries across the swap and replayed outcomes for the old node
+// numbering.
+func TestDirtySetFlushedByPairedTopologyChange(t *testing.T) {
+	reg := region.UnitSquareKm()
+	start := region.PlaceUniform(reg, 30, rand.New(rand.NewSource(27)))
+	mk := func(disable bool) *Engine {
+		cfg := DefaultConfig(2)
+		cfg.Epsilon = reg.BBox().Diagonal() * 2 // every node converged from round one
+		cfg.MaxRounds = 10
+		cfg.Seed = 27
+		cfg.DisableCache = disable
+		eng, err := New(reg, start, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	drive := func(eng *Engine) ([]RoundStats, *Result) {
+		eng.Step() // converges immediately; net.Version() stays 0
+		if err := eng.RemoveNode(4); err != nil {
+			t.Fatal(err)
+		}
+		eng.AddNode(geom.Pt(0.02, 0.97)) // node count restored, version 0 again
+		eng.Step()
+		eng.Step()
+		res, err := eng.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Trace(), res
+	}
+	eagerTrace, eagerRes := drive(mk(true))
+	cachedTrace, cachedRes := drive(mk(false))
+	assertIdentical(t, "paired-topology-change", eagerTrace, cachedTrace, eagerRes, cachedRes)
+}
+
+// Out-of-band position writes (direct Network mutation between Steps) must
+// flush the cache: the engine detects them via the network's mutation
+// version, so a stale outcome can never leak into the next round.
+func TestDirtySetFlushesOnExternalPositionWrite(t *testing.T) {
+	reg := region.UnitSquareKm()
+	start := region.PlaceUniform(reg, 40, rand.New(rand.NewSource(13)))
+	run := func(disable bool) ([]RoundStats, *Result) {
+		cfg := DefaultConfig(2)
+		cfg.Epsilon = 1e-3
+		cfg.MaxRounds = 25
+		cfg.Seed = 13
+		cfg.DisableCache = disable
+		eng, err := New(reg, start, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < cfg.MaxRounds; r++ {
+			if r == 8 {
+				// Teleport a node behind the engine's back.
+				eng.Network().SetPosition(3, geom.Pt(0.05, 0.95))
+			}
+			if _, done := eng.Step(); done {
+				break
+			}
+		}
+		res, err := eng.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.Trace(), res
+	}
+	eagerTrace, eagerRes := run(true)
+	cachedTrace, cachedRes := run(false)
+	assertIdentical(t, "external-write", eagerTrace, cachedTrace, eagerRes, cachedRes)
+}
+
+// stepAllocCeiling is the committed allocs/op budget for a steady-state
+// (fully converged, all-cache-valid) Engine.Step. The CI benchmark job
+// fails when TestStepAllocsSteadyState trips, making alloc regressions on
+// the hot path a build break. The budget covers the per-round
+// [][]Polygon header slice, the trace append amortization, and test-harness
+// noise — the geometry kernel itself contributes zero.
+const stepAllocCeiling = 8
+
+// Steady-state Step must stay within the committed allocation budget.
+func TestStepAllocsSteadyState(t *testing.T) {
+	reg := region.UnitSquareKm()
+	start := region.PlaceUniform(reg, 80, rand.New(rand.NewSource(21)))
+	cfg := DefaultConfig(2)
+	cfg.Epsilon = 1e-3
+	cfg.MaxRounds = 300
+	cfg.Seed = 21
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	converged := false
+	for r := 0; r < cfg.MaxRounds && !converged; r++ {
+		_, converged = eng.Step()
+	}
+	if !converged {
+		t.Fatal("deployment did not converge; cannot measure steady state")
+	}
+	allocs := testing.AllocsPerRun(100, func() { eng.Step() })
+	if allocs > stepAllocCeiling {
+		t.Errorf("steady-state Step allocates %v/op, ceiling %d", allocs, stepAllocCeiling)
+	}
+}
+
+// Active-round allocations must stay bounded too: with every node moving
+// (epsilon ~ 0), the scratch kernel caps the per-node cost at the outcome
+// compaction (2 allocs) plus small per-round bookkeeping.
+func TestStepAllocsActiveRounds(t *testing.T) {
+	reg := region.UnitSquareKm()
+	n := 100
+	start := region.PlaceUniform(reg, n, rand.New(rand.NewSource(22)))
+	cfg := DefaultConfig(2)
+	cfg.Epsilon = 1e-9 // keep every node moving
+	cfg.MaxRounds = 1 << 20
+	cfg.Seed = 22
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5; r++ { // warm buffers and arenas
+		eng.Step()
+	}
+	allocs := testing.AllocsPerRun(20, func() { eng.Step() })
+	perNode := allocs / float64(n)
+	if perNode > 4 {
+		t.Errorf("active Step allocates %.2f/node (total %v), want <= 4", perNode, allocs)
+	}
+}
+
+// The dominating-region pipeline of a live engine (region + Chebyshev) runs
+// allocation-free on a warmed scratch.
+func TestCentralizedRegionScratchZeroAllocs(t *testing.T) {
+	reg := region.UnitSquareKm()
+	start := region.PlaceUniform(reg, 120, rand.New(rand.NewSource(23)))
+	cfg := DefaultConfig(2)
+	cfg.Seed = 23
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Network().Rebuild()
+	s := NewScratch()
+	for i := 0; i < 120; i++ { // warm across all nodes
+		polys := CentralizedDominatingRegionScratch(eng.Network(), reg, i, cfg.K, s)
+		ChebyshevOfRegion(polys, s)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 120; i++ {
+			polys := CentralizedDominatingRegionScratch(eng.Network(), reg, i, cfg.K, s)
+			ChebyshevOfRegion(polys, s)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warmed region+Chebyshev pipeline allocates %v per 120-node sweep, want 0", allocs)
+	}
+}

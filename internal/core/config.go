@@ -121,8 +121,9 @@ type Config struct {
 	// Detector flags boundary nodes in Localized mode. Nil means the
 	// angular-gap detector with its default threshold.
 	Detector boundary.Detector
-	// Seed drives the (deterministic) randomized Chebyshev-center
-	// computation.
+	// Seed drives Localized-mode message-loss sampling (the one remaining
+	// randomized component; Chebyshev centers are computed by a fully
+	// deterministic Welzl that needs no seed).
 	Seed int64
 	// Workers is the number of goroutines fanning the per-node dominating-
 	// region computation of each Synchronous round (and of Finalize /
@@ -136,6 +137,15 @@ type Config struct {
 	// KeepRegions retains every node's final dominating region in the
 	// Result (costs memory; useful for rendering and debugging).
 	KeepRegions bool
+	// DisableCache turns off the incremental dirty-set (Centralized mode):
+	// every round recomputes every node instead of reusing outcomes whose
+	// exactness neighborhood is unchanged. The cache is semantically
+	// invisible — trajectories, traces and results are bit-identical either
+	// way (asserted by the equivalence suite) — so this knob exists for
+	// benchmarking the eager engine and as a belt-and-braces escape hatch.
+	// Localized mode never caches: its message accounting requires the
+	// expanding-ring searches to actually run.
+	DisableCache bool
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

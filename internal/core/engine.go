@@ -106,6 +106,41 @@ type Engine struct {
 	// observer, if set, runs after every round of Run with that round's
 	// statistics (see SetObserver).
 	observer func(RoundStats) error
+
+	// pool holds one Scratch per worker slot so the per-node geometry
+	// pipeline runs without heap allocation; outs/next/movedBuf are the
+	// reusable per-round buffers.
+	pool     []*Scratch
+	outs     []nodeOutcome
+	nextBuf  []geom.Point
+	movedBuf []movedNode
+
+	// cache is the incremental dirty-set (Centralized mode): each entry
+	// holds a node's last computed outcome together with the exactness
+	// radius ρ of the expanding search that produced it. The outcome is a
+	// pure function of the positions inside the ρ-ball around the node
+	// (see centralizedRegionScratch), so it is reused verbatim until some
+	// position inside that ball changes — which collapses the long
+	// converged tail of a deployment to near-zero work per round.
+	// cacheVer mirrors net.Version() so out-of-band position writes
+	// (anything other than the engine's own moves) flush the cache.
+	cache    []nodeCache
+	cacheVer uint64
+}
+
+// nodeCache is one node's cached round outcome plus the exactness radius
+// that bounds which position changes can invalidate it.
+type nodeCache struct {
+	valid bool
+	rho   float64
+	out   nodeOutcome
+}
+
+// movedNode records one applied move for cache invalidation: both endpoints
+// matter, because a node entering an exactness ball invalidates it by its
+// new position and a node leaving it by its old one.
+type movedNode struct {
+	old, new geom.Point
 }
 
 // ErrStop is the sentinel an Observer returns to stop a run early and
@@ -179,26 +214,59 @@ type nodeOutcome struct {
 	empty    bool // pathological empty region: node stands still
 }
 
-// stepNode computes node i's dominating region, Chebyshev center and motion
-// target from the current positions. rng is the node's private stream for
-// this round (see nodeRNG); it drives the randomized Chebyshev-center
-// computation and, in Localized mode, message-loss sampling.
-func (e *Engine) stepNode(i int, isBoundary []bool, rng *rand.Rand) nodeOutcome {
+// stepNodeCentralized computes node i's dominating region, Chebyshev center
+// and motion target from the current positions (Centralized mode). The
+// geometry pipeline runs entirely on s; the outcome's polygons are compacted
+// into owned storage so they survive the scratch's reuse. The second return
+// value is the exactness radius ρ of the expanding search — the cache
+// invalidation radius. Since the deterministic-Welzl change, the outcome is
+// a pure function of (positions within ρ of u_i, region, config): no RNG
+// stream is consumed.
+func (e *Engine) stepNodeCentralized(i int, s *Scratch) (nodeOutcome, float64) {
 	ui := e.net.Position(i)
-	polys := e.regionOf(i, isBoundary, rng)
+	polys, rho, rhat := centralizedRegionScratch(e.net, e.reg, i, e.cfg.K, s)
 	if len(polys) == 0 {
 		// Pathological (e.g. node crowded out numerically): stand still.
+		return nodeOutcome{next: ui, empty: true}, rho
+	}
+	ci, ri := ChebyshevOfRegion(polys, s)
+	out := nodeOutcome{
+		polys: voronoi.CompactRegion(polys),
+		next:  ui,
+		ri:    ri,
+		rhat:  rhat,
+	}
+	e.finishMove(ui, ci, &out)
+	return out, rho
+}
+
+// stepNodeLocalized computes node i's outcome with Algorithm 2. rng is the
+// node's private stream for this round (see nodeRNG); it drives message-loss
+// sampling. The geometry kernel still runs on s, but outcomes are never
+// cached: the expanding-ring search charges real messages, and skipping it
+// would falsify the per-round message accounting that is part of Localized
+// mode's contract.
+func (e *Engine) stepNodeLocalized(i int, isBoundary bool, rng *rand.Rand, s *Scratch) nodeOutcome {
+	ui := e.net.Position(i)
+	polys := e.localizedRegionOf(i, isBoundary, rng, s)
+	if len(polys) == 0 {
 		return nodeOutcome{next: ui, empty: true}
 	}
-	verts := voronoi.Vertices(polys)
-	ci, ri := geom.ChebyshevCenter(verts, rng)
-	ci = e.reg.ClampInside(ci)
+	ci, ri := ChebyshevOfRegion(polys, s)
 	out := nodeOutcome{
-		polys: polys,
+		polys: voronoi.CompactRegion(polys),
 		next:  ui,
 		ri:    ri,
 		rhat:  voronoi.MaxDistFrom(ui, polys),
 	}
+	e.finishMove(ui, ci, &out)
+	return out
+}
+
+// finishMove applies the motion rule (step α toward the clamped Chebyshev
+// center, stand still within ε) to an outcome under construction.
+func (e *Engine) finishMove(ui, ci geom.Point, out *nodeOutcome) {
+	ci = e.reg.ClampInside(ci)
 	if d := ui.Dist(ci); d > e.cfg.Epsilon {
 		target := ui.Add(ci.Sub(ui).Scale(e.cfg.Alpha))
 		target = e.reg.ClampInside(target)
@@ -206,7 +274,93 @@ func (e *Engine) stepNode(i int, isBoundary []bool, rng *rand.Rand) nodeOutcome 
 		out.moved = true
 		out.moveDist = ui.Dist(target)
 	}
+}
+
+// stepNodeAny dispatches one node's round computation, consulting the
+// dirty-set cache first when it is enabled. Cache entries are written only
+// by the worker that owns node i this round, so the fan-out needs no
+// locking.
+func (e *Engine) stepNodeAny(i, round int, isBoundary []bool, s *Scratch, cacheOn bool) nodeOutcome {
+	if e.cfg.Mode == Localized {
+		b := isBoundary != nil && isBoundary[i]
+		return e.stepNodeLocalized(i, b, nodeRNG(e.cfg.Seed, round, i), s)
+	}
+	if cacheOn {
+		if c := &e.cache[i]; c.valid {
+			return c.out
+		}
+		out, rho := e.stepNodeCentralized(i, s)
+		e.cache[i] = nodeCache{valid: true, rho: rho, out: out}
+		return out
+	}
+	out, _ := e.stepNodeCentralized(i, s)
 	return out
+}
+
+// cacheEnabled reports whether the dirty-set cache applies: Centralized
+// mode only (Localized message accounting forbids skipping work) and not
+// explicitly disabled.
+func (e *Engine) cacheEnabled() bool {
+	return e.cfg.Mode == Centralized && !e.cfg.DisableCache
+}
+
+// ensureBuffers sizes the per-round buffers and the dirty-set cache for n
+// nodes. A node-count change (AddNode/RemoveNode rebuilt the network)
+// discards the cache wholesale.
+func (e *Engine) ensureBuffers(n int) {
+	if cap(e.outs) < n {
+		e.outs = make([]nodeOutcome, n)
+		e.nextBuf = make([]geom.Point, n)
+	}
+	e.outs = e.outs[:n]
+	e.nextBuf = e.nextBuf[:n]
+	if len(e.cache) != n {
+		e.cache = make([]nodeCache, n)
+		e.cacheVer = e.net.Version()
+	}
+}
+
+// ensurePool sizes the per-worker scratch pool.
+func (e *Engine) ensurePool(workers int) {
+	for len(e.pool) < workers {
+		e.pool = append(e.pool, NewScratch())
+	}
+}
+
+// flushCache invalidates every cache entry and re-syncs with the network's
+// mutation counter.
+func (e *Engine) flushCache() {
+	for i := range e.cache {
+		e.cache[i].valid = false
+	}
+	e.cacheVer = e.net.Version()
+}
+
+// invalidateMoved drops every cache entry whose exactness ball contains
+// either endpoint of a recorded move: a node entering the ball changes the
+// site set by its new position, a node leaving it by its old one, and any
+// move inside it changes a site's coordinates. Entries outside stay valid —
+// the expanding search provably never read those positions, so recomputing
+// would reproduce the cached outcome bit for bit. Cost is
+// O(valid × moved): cheap early (few valid) and cheap late (few moved).
+func (e *Engine) invalidateMoved() {
+	if len(e.movedBuf) == 0 {
+		return
+	}
+	for i := range e.cache {
+		c := &e.cache[i]
+		if !c.valid {
+			continue
+		}
+		ui := e.net.Position(i) // unchanged: moved nodes were invalidated already
+		r2 := c.rho * c.rho
+		for _, m := range e.movedBuf {
+			if ui.Dist2(m.old) <= r2 || ui.Dist2(m.new) <= r2 {
+				c.valid = false
+				break
+			}
+		}
+	}
 }
 
 // Step executes one LAACAD round and returns its statistics. The returned
@@ -223,31 +377,52 @@ func (e *Engine) Step() (RoundStats, bool) {
 		Round:           round,
 		MinCircumradius: math.Inf(1),
 	}
+	e.ensureBuffers(n)
+	cacheOn := e.cacheEnabled()
+	if cacheOn && e.cacheVer != e.net.Version() {
+		// Positions were written behind the engine's back (direct Network
+		// mutation, resume restore): nothing cached can be trusted.
+		e.flushCache()
+	}
 	var isBoundary []bool
 	if e.cfg.Mode == Localized {
 		isBoundary = e.detector.Boundary(e.net)
 	}
 	sequential := e.cfg.Order == Sequential
-	outs := make([]nodeOutcome, n)
+	outs := e.outs
 	if sequential {
+		e.ensurePool(1)
 		for i := 0; i < n; i++ {
-			outs[i] = e.stepNode(i, isBoundary, nodeRNG(e.cfg.Seed, round, i))
-			e.net.SetPosition(i, outs[i].next)
+			outs[i] = e.stepNodeAny(i, round, isBoundary, e.pool[0], cacheOn)
+			if ui := e.net.Position(i); outs[i].next != ui {
+				e.net.SetPosition(i, outs[i].next)
+				if cacheOn {
+					e.invalidateAround(i, ui, outs[i].next)
+				}
+				e.cacheVer = e.net.Version()
+			}
 		}
 	} else {
 		e.net.Rebuild() // build the spatial index once, before the fan-out
-		parallel.For(n, parallel.Workers(e.cfg.Workers), func(i int) {
-			outs[i] = e.stepNode(i, isBoundary, nodeRNG(e.cfg.Seed, round, i))
+		workers := parallel.Workers(e.cfg.Workers)
+		e.ensurePool(workers)
+		parallel.ForWorker(n, workers, func(w, i int) {
+			outs[i] = e.stepNodeAny(i, round, isBoundary, e.pool[w], cacheOn)
 		})
 	}
 
 	polysPerNode := make([][]geom.Polygon, n)
-	next := make([]geom.Point, n)
+	next := e.nextBuf
 	moved := 0
+	changed := false
+	e.movedBuf = e.movedBuf[:0]
 	for i := range outs {
 		o := &outs[i]
 		polysPerNode[i] = o.polys
 		next[i] = o.next
+		if !sequential && o.next != e.net.Position(i) {
+			changed = true
+		}
 		if o.empty {
 			continue
 		}
@@ -265,18 +440,29 @@ func (e *Engine) Step() (RoundStats, bool) {
 			if o.moveDist > stats.MaxMove {
 				stats.MaxMove = o.moveDist
 			}
+			if !sequential && cacheOn {
+				e.cache[i].valid = false // own position is about to change
+				e.movedBuf = append(e.movedBuf, movedNode{old: e.net.Position(i), new: o.next})
+			}
 		}
 	}
 	if math.IsInf(stats.MinCircumradius, 1) {
 		stats.MinCircumradius = 0
 	}
-	if !sequential {
+	if !sequential && changed {
+		// Skipped when every node stands still (the converged tail): the
+		// write would only re-mark the spatial grid dirty and force a
+		// rebuild to an identical index next round.
 		e.net.SetPositions(next)
+		if cacheOn {
+			e.invalidateMoved()
+			e.cacheVer = e.net.Version()
+		}
 	}
 	e.regions = polysPerNode
 	e.round++
 	stats.Moved = moved
-	cur := e.net.Stats().Messages
+	cur := e.net.MessageCount()
 	stats.Messages = cur - e.prevMsgs
 	e.prevMsgs = cur
 	e.trace = append(e.trace, stats)
@@ -284,18 +470,23 @@ func (e *Engine) Step() (RoundStats, bool) {
 	return stats, e.converged
 }
 
-// regionOf computes node i's dominating region under the configured mode.
-// isBoundary is the per-node boundary bitmap (Localized mode only; may be
-// nil otherwise).
-func (e *Engine) regionOf(i int, isBoundary []bool, rng *rand.Rand) []geom.Polygon {
-	if e.cfg.Mode == Localized {
-		b := false
-		if isBoundary != nil {
-			b = isBoundary[i]
+// invalidateAround is the Sequential-order form of invalidateMoved: applied
+// immediately after each position change, so nodes processed later in the
+// same round see a cache that reflects every earlier move — exactly
+// mirroring what the eager Gauss–Seidel sweep would recompute.
+func (e *Engine) invalidateAround(i int, old, new geom.Point) {
+	e.cache[i].valid = false
+	for j := range e.cache {
+		c := &e.cache[j]
+		if !c.valid {
+			continue
 		}
-		return e.localizedRegionOf(i, b, rng)
+		uj := e.net.Position(j)
+		r2 := c.rho * c.rho
+		if uj.Dist2(old) <= r2 || uj.Dist2(new) <= r2 {
+			c.valid = false
+		}
 	}
-	return e.centralizedRegionOf(i)
 }
 
 // SetObserver installs a per-round callback invoked by Run after every
@@ -376,7 +567,7 @@ func (e *Engine) Finalize() (*Result, error) {
 		Rounds:    e.round,
 		Converged: e.converged,
 		Trace:     append([]RoundStats(nil), e.trace...),
-		Messages:  e.msgBase + e.net.Stats().Messages,
+		Messages:  e.msgBase + e.net.MessageCount(),
 	}
 	if e.cfg.KeepRegions {
 		res.Regions = polysPerNode
@@ -403,10 +594,15 @@ func (e *Engine) RemoveNode(i int) error {
 		return fmt.Errorf("core: removing node %d would leave %d < K=%d nodes", i, len(pos)-1, e.cfg.K)
 	}
 	pos = append(pos[:i], pos[i+1:]...)
-	e.msgBase += e.net.Stats().Messages
+	e.msgBase += e.net.MessageCount()
 	e.net = wsn.New(pos, e.net.Gamma())
 	e.prevMsgs = 0
 	e.converged = false
+	// The cache indexes the old node numbering and the fresh network's
+	// mutation counter restarts, so the version check cannot be trusted
+	// across the swap (a paired RemoveNode+AddNode restores the node count
+	// and can collide on version): drop the cache explicitly.
+	e.cache = nil
 	return nil
 }
 
@@ -414,10 +610,11 @@ func (e *Engine) RemoveNode(i int) error {
 // is reset.
 func (e *Engine) AddNode(p geom.Point) {
 	pos := append(e.net.Positions(), e.reg.ClampInside(p))
-	e.msgBase += e.net.Stats().Messages
+	e.msgBase += e.net.MessageCount()
 	e.net = wsn.New(pos, e.net.Gamma())
 	e.prevMsgs = 0
 	e.converged = false
+	e.cache = nil // see RemoveNode: never trust versions across a network swap
 }
 
 // computeRegions returns each node's dominating region under the configured
@@ -437,45 +634,11 @@ func (e *Engine) centralizedRegions() [][]geom.Polygon {
 	n := e.net.Len()
 	out := make([][]geom.Polygon, n)
 	e.net.Rebuild()
-	parallel.For(n, parallel.Workers(e.cfg.Workers), func(i int) {
-		out[i] = e.centralizedRegionOf(i)
+	workers := parallel.Workers(e.cfg.Workers)
+	e.ensurePool(workers)
+	parallel.ForWorker(n, workers, func(w, i int) {
+		polys := CentralizedDominatingRegionScratch(e.net, e.reg, i, e.cfg.K, e.pool[w])
+		out[i] = voronoi.CompactRegion(polys)
 	})
 	return out
-}
-
-// centralizedRegionOf computes node i's dominating region with global
-// knowledge.
-func (e *Engine) centralizedRegionOf(i int) []geom.Polygon {
-	return CentralizedDominatingRegion(e.net, e.reg, i, e.cfg.K)
-}
-
-// CentralizedDominatingRegion computes node i's dominating region over the
-// network's current positions from global knowledge, using an
-// exactness-checked expanding radius: a region computed from all nodes
-// within distance ρ of u_i is globally exact as soon as its circumradius-
-// from-u_i satisfies R̂ ≤ ρ/2, because every generator that could beat u_i
-// at a point within R̂ of u_i lies within 2·R̂ ≤ ρ of u_i. It is shared by
-// the round Engine and the asynchronous event-driven simulator.
-func CentralizedDominatingRegion(net *wsn.Network, reg *region.Region, i, k int) []geom.Polygon {
-	n := net.Len()
-	pieces := reg.Pieces()
-	diag := reg.BBox().Diagonal()
-	ui := net.Position(i)
-	self := voronoi.Site{ID: i, Pos: ui}
-	// Initial guess: enough radius to see ~4k neighbors in a uniform
-	// deployment; grows geometrically until the exactness check passes.
-	rho := diag / math.Sqrt(float64(n)) * math.Sqrt(float64(4*k+4))
-	for {
-		nbrIDs := net.NeighborsWithin(i, rho)
-		sites := make([]voronoi.Site, 0, len(nbrIDs))
-		for _, j := range nbrIDs {
-			sites = append(sites, voronoi.Site{ID: j, Pos: net.Position(j)})
-		}
-		polys := voronoi.DominatingRegion(self, sites, k, pieces)
-		rhat := voronoi.MaxDistFrom(ui, polys)
-		if 2*rhat <= rho || len(nbrIDs) == n-1 || rho > 4*diag {
-			return polys
-		}
-		rho *= 2
-	}
 }

@@ -158,7 +158,7 @@ func TestFixedPointCondition(t *testing.T) {
 		if len(polys) == 0 {
 			continue
 		}
-		c, _ := geom.ChebyshevCenter(voronoi.Vertices(polys), nil)
+		c, _ := geom.ChebyshevCenter(voronoi.Vertices(polys))
 		c = reg.ClampInside(c)
 		if d := res.Positions[i].Dist(c); d > cfg.Epsilon*1.5 {
 			t.Errorf("node %d is %v from its Chebyshev center (eps=%v)", i, d, cfg.Epsilon)

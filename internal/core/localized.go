@@ -36,16 +36,21 @@ func (e *Engine) localizedRegions() [][]geom.Polygon {
 	// inspection fan-out (DebugRegions, Finalize) never replays the loss
 	// draws the next Step is about to make.
 	round := -(e.round + 1)
-	parallel.For(n, parallel.Workers(e.cfg.Workers), func(i int) {
-		out[i] = e.localizedRegionOf(i, isBoundary[i], nodeRNG(e.cfg.Seed, round, i))
+	workers := parallel.Workers(e.cfg.Workers)
+	e.ensurePool(workers)
+	parallel.ForWorker(n, workers, func(w, i int) {
+		polys := e.localizedRegionOf(i, isBoundary[i], nodeRNG(e.cfg.Seed, round, i), e.pool[w])
+		out[i] = voronoi.CompactRegion(polys)
 	})
 	return out
 }
 
 // localizedRegionOf runs Algorithm 2 for node i. rng drives message-loss
 // sampling when LossRate > 0; it must be the node's private stream so
-// parallel fan-outs stay deterministic.
-func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand) []geom.Polygon {
+// parallel fan-outs stay deterministic. The geometry runs on s's kernel
+// arena: the returned polygons are valid only until the next region
+// computation on s (compact them to keep them).
+func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand, s *Scratch) []geom.Polygon {
 	ui := e.net.Position(i)
 	gamma := e.cfg.Gamma
 	rho := 0.0
@@ -70,7 +75,7 @@ func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand) []geo
 			break
 		}
 		nbrIDs = query(rho)
-		dominated, sampled := e.circleDominated(i, nbrIDs, rho/2, isBoundary)
+		dominated, sampled := e.circleDominated(i, nbrIDs, rho/2, isBoundary, s)
 		if dominated {
 			if sampled == 0 {
 				// The whole check circle fell outside the region (or the
@@ -82,13 +87,13 @@ func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand) []geo
 		}
 	}
 
-	sites := make([]voronoi.Site, 0, len(nbrIDs))
+	s.sites = s.sites[:0]
 	for _, j := range nbrIDs {
-		sites = append(sites, voronoi.Site{ID: j, Pos: e.net.Position(j)})
+		s.sites = append(s.sites, voronoi.Site{ID: j, Pos: e.net.Position(j)})
 	}
-	polys := voronoi.DominatingRegion(voronoi.Site{ID: i, Pos: ui}, sites, e.cfg.K, e.reg.Pieces())
+	polys := voronoi.DominatingRegionScratch(voronoi.Site{ID: i, Pos: ui}, s.sites, e.cfg.K, e.reg.Pieces(), &s.vor)
 	if clipToRing {
-		polys = clipToDisk(polys, geom.Circle{Center: ui, R: rho / 2})
+		polys = clipToDisk(polys, geom.Circle{Center: ui, R: rho / 2}, s)
 	}
 	return polys
 }
@@ -100,13 +105,13 @@ func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand) []geo
 // for boundary nodes, samples outside the network's covered area are skipped
 // as well. The second return value is the number of samples actually
 // checked.
-func (e *Engine) circleDominated(i int, nbrIDs []int, r float64, isBoundary bool) (bool, int) {
+func (e *Engine) circleDominated(i int, nbrIDs []int, r float64, isBoundary bool, s *Scratch) (bool, int) {
 	ui := e.net.Position(i)
 	k := e.cfg.K
 	sampled := 0
 	// A small phase offset keeps samples off axis-aligned region boundaries.
-	pts := geom.SamplePointsOnCircle(geom.Circle{Center: ui, R: r}, e.cfg.ArcSamples, 1e-3)
-	for _, v := range pts {
+	s.ring = geom.AppendCirclePoints(s.ring[:0], geom.Circle{Center: ui, R: r}, e.cfg.ArcSamples, 1e-3)
+	for _, v := range s.ring {
 		if !e.reg.Contains(v) {
 			continue
 		}
@@ -149,17 +154,11 @@ func (e *Engine) covered(v geom.Point, i int, nbrIDs []int) bool {
 }
 
 // clipToDisk clips polygons to an inscribed 48-gon of the disk — the search
-// ring closing a boundary node's dominating region.
-func clipToDisk(polys []geom.Polygon, disk geom.Circle) []geom.Polygon {
+// ring closing a boundary node's dominating region — on s's kernel arena.
+func clipToDisk(polys []geom.Polygon, disk geom.Circle, s *Scratch) []geom.Polygon {
 	if disk.R <= 0 {
 		return nil
 	}
-	ring := geom.RegularPolygon(disk, 48, math.Pi/48)
-	var out []geom.Polygon
-	for _, p := range polys {
-		if clipped := p.ClipConvex(ring); len(clipped) >= 3 && clipped.Area() > 1e-16 {
-			out = append(out, clipped)
-		}
-	}
-	return out
+	s.ring = geom.AppendCirclePoints(s.ring[:0], disk, 48, math.Pi/48)
+	return s.vor.ClipToConvex(polys, geom.Polygon(s.ring))
 }

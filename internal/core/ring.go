@@ -46,7 +46,8 @@ func ExpandingRing(net *wsn.Network, reg *region.Region, i, k, arcSamples int, m
 		reg: reg,
 		net: net,
 	}
-	before := net.Stats().Messages
+	s := NewScratch()
+	before := net.MessageCount()
 	gamma := net.Gamma()
 	rho := 0.0
 	var nbrIDs []int
@@ -57,7 +58,7 @@ func ExpandingRing(net *wsn.Network, reg *region.Region, i, k, arcSamples int, m
 			break
 		}
 		nbrIDs = net.RingQuery(i, rho, mode)
-		if dominated, _ := e.circleDominated(i, nbrIDs, rho/2, false); dominated {
+		if dominated, _ := e.circleDominated(i, nbrIDs, rho/2, false, s); dominated {
 			break
 		}
 	}
@@ -69,7 +70,7 @@ func ExpandingRing(net *wsn.Network, reg *region.Region, i, k, arcSamples int, m
 	return RingProbe{
 		Hops:      int(rho/gamma + 0.5),
 		Neighbors: len(nbrIDs),
-		Messages:  net.Stats().Messages - before,
+		Messages:  net.MessageCount() - before,
 		Region:    polys,
 	}
 }

@@ -1,51 +1,44 @@
 package core
 
-import "math/rand"
+import (
+	"math/rand"
 
-// nodeRNG returns the independent random stream for one node's region/center
-// computation in one round: a splitmix64 generator whose state is a mixed
-// function of (seed, round, node). Deriving the stream from coordinates
-// instead of drawing from a shared sequential source is what makes the
-// parallel engine deterministic — a node's randomness depends only on what
-// it is computing, never on which worker got there first, so any worker
-// count and any scheduling order produce bit-identical trajectories.
+	"laacad/internal/geom"
+)
+
+// nodeRNG returns the independent random stream for one node's
+// message-loss sampling in one round (Localized mode; the Chebyshev-center
+// computation is deterministic and draws nothing): a splitmix64 generator
+// whose state is a mixed function of (seed, round, node). Deriving the
+// stream from coordinates instead of drawing from a shared sequential
+// source is what makes the parallel engine deterministic — a node's
+// randomness depends only on what it is computing, never on which worker
+// got there first, so any worker count and any scheduling order produce
+// bit-identical trajectories.
 //
 // The generator is used directly as a rand.Source64 rather than feeding the
 // mixed state to rand.NewSource, which would reduce it mod 2³¹−1 and
 // collapse the stream space enough for distinct (round, node) pairs to
-// collide over a long run.
+// collide over a long run. The mix/finalize primitives are shared with the
+// deterministic-Welzl shuffle (geom.Mix64/geom.Finalize64) so the two
+// cannot drift.
 func nodeRNG(seed int64, round, node int) *rand.Rand {
-	s := mix64(uint64(seed))
-	s = mix64(s ^ uint64(round))
-	s = mix64(s ^ uint64(node))
+	s := geom.Mix64(uint64(seed))
+	s = geom.Mix64(s ^ uint64(round))
+	s = geom.Mix64(s ^ uint64(node))
 	return rand.New(&splitmix64{state: s})
 }
 
 // splitmix64 is the SplitMix64 generator [Steele, Lea, Flood 2014]: a full-
 // period 2⁶⁴ sequence whose output passes BigCrush — more than adequate for
-// shuffle orders and loss sampling, and cheap to seed per (round, node).
+// loss sampling, and cheap to seed per (round, node).
 type splitmix64 struct{ state uint64 }
 
 func (s *splitmix64) Uint64() uint64 {
 	s.state += 0x9E3779B97F4A7C15
-	return finalize64(s.state)
+	return geom.Finalize64(s.state)
 }
 
 func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
-
-// mix64 seeds the generator state: the splitmix64 increment-then-finalize
-// step, a bijective avalanche mix, so nearby (seed, round, node) triples map
-// to statistically independent states.
-func mix64(x uint64) uint64 { return finalize64(x + 0x9E3779B97F4A7C15) }
-
-// finalize64 is the splitmix64 output finalizer.
-func finalize64(z uint64) uint64 {
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return z
-}

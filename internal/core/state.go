@@ -28,7 +28,7 @@ func (e *Engine) Snapshot() (*snapshot.State, error) {
 	st := snapshot.NewState(snapshot.KindEngine, e.net.Positions())
 	st.Round = e.round
 	st.Converged = e.converged
-	st.Messages = e.msgBase + e.net.Stats().Messages
+	st.Messages = e.msgBase + e.net.MessageCount()
 	st.Trace = traceToState(e.trace)
 	st.Config = configToState(e.cfg)
 	return st, nil
@@ -55,21 +55,22 @@ func Resume(reg *region.Region, st *snapshot.State) (*Engine, error) {
 // configToState extracts the serializable subset of a Config.
 func configToState(c Config) snapshot.ConfigState {
 	return snapshot.ConfigState{
-		K:           c.K,
-		Alpha:       c.Alpha,
-		Epsilon:     c.Epsilon,
-		MaxRounds:   c.MaxRounds,
-		Mode:        int(c.Mode),
-		Order:       int(c.Order),
-		Gamma:       c.Gamma,
-		RingMode:    int(c.RingMode),
-		LossRate:    c.LossRate,
-		LossRetries: c.LossRetries,
-		ArcSamples:  c.ArcSamples,
-		RingCap:     c.RingCap,
-		Seed:        c.Seed,
-		Workers:     c.Workers,
-		KeepRegions: c.KeepRegions,
+		K:            c.K,
+		Alpha:        c.Alpha,
+		Epsilon:      c.Epsilon,
+		MaxRounds:    c.MaxRounds,
+		Mode:         int(c.Mode),
+		Order:        int(c.Order),
+		Gamma:        c.Gamma,
+		RingMode:     int(c.RingMode),
+		LossRate:     c.LossRate,
+		LossRetries:  c.LossRetries,
+		ArcSamples:   c.ArcSamples,
+		RingCap:      c.RingCap,
+		Seed:         c.Seed,
+		Workers:      c.Workers,
+		KeepRegions:  c.KeepRegions,
+		DisableCache: c.DisableCache,
 	}
 }
 
@@ -77,21 +78,22 @@ func configToState(c Config) snapshot.ConfigState {
 // is left nil (default).
 func configFromState(s snapshot.ConfigState) Config {
 	return Config{
-		K:           s.K,
-		Alpha:       s.Alpha,
-		Epsilon:     s.Epsilon,
-		MaxRounds:   s.MaxRounds,
-		Mode:        Mode(s.Mode),
-		Order:       UpdateOrder(s.Order),
-		Gamma:       s.Gamma,
-		RingMode:    wsn.RingQueryMode(s.RingMode),
-		LossRate:    s.LossRate,
-		LossRetries: s.LossRetries,
-		ArcSamples:  s.ArcSamples,
-		RingCap:     s.RingCap,
-		Seed:        s.Seed,
-		Workers:     s.Workers,
-		KeepRegions: s.KeepRegions,
+		K:            s.K,
+		Alpha:        s.Alpha,
+		Epsilon:      s.Epsilon,
+		MaxRounds:    s.MaxRounds,
+		Mode:         Mode(s.Mode),
+		Order:        UpdateOrder(s.Order),
+		Gamma:        s.Gamma,
+		RingMode:     wsn.RingQueryMode(s.RingMode),
+		LossRate:     s.LossRate,
+		LossRetries:  s.LossRetries,
+		ArcSamples:   s.ArcSamples,
+		RingCap:      s.RingCap,
+		Seed:         s.Seed,
+		Workers:      s.Workers,
+		KeepRegions:  s.KeepRegions,
+		DisableCache: s.DisableCache,
 	}
 }
 

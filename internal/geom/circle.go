@@ -102,7 +102,14 @@ func SamplePointsOnCircle(c Circle, n int, phase float64) []Point {
 	if n <= 0 {
 		return nil
 	}
-	pts := make([]Point, 0, n)
+	return AppendCirclePoints(make([]Point, 0, n), c, n, phase)
+}
+
+// AppendCirclePoints appends n points evenly spaced on the circle boundary
+// to dst and returns it — the allocation-free form of SamplePointsOnCircle
+// for callers with a reusable buffer.
+func AppendCirclePoints(dst []Point, c Circle, n int, phase float64) []Point {
+	pts := dst
 	for i := 0; i < n; i++ {
 		th := phase + 2*math.Pi*float64(i)/float64(n)
 		pts = append(pts, Point{

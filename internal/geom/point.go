@@ -40,14 +40,22 @@ func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
 // Cross returns the z-component of the cross product p × q.
 func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
 
-// Norm returns the Euclidean norm ‖p‖₂.
-func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+// Norm returns the Euclidean norm ‖p‖₂. Computed as Sqrt(x²+y²) rather
+// than math.Hypot: the package contract is region-scale coordinates (see
+// the package comment), where Hypot's overflow/underflow rescaling is dead
+// weight — and Norm sits on the half-plane clipping tolerance path, the
+// single hottest call site in a deployment round.
+func (p Point) Norm() float64 { return math.Sqrt(p.X*p.X + p.Y*p.Y) }
 
 // Norm2 returns the squared Euclidean norm ‖p‖₂².
 func (p Point) Norm2() float64 { return p.X*p.X + p.Y*p.Y }
 
-// Dist returns the Euclidean distance ‖p−q‖₂.
-func (p Point) Dist(q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+// Dist returns the Euclidean distance ‖p−q‖₂ (same Sqrt-over-Hypot
+// trade-off as Norm).
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
 
 // Dist2 returns the squared Euclidean distance ‖p−q‖₂².
 func (p Point) Dist2(q Point) float64 {

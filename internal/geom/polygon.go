@@ -141,32 +141,46 @@ func (p Polygon) MaxDistFrom(q Point) float64 {
 // (Sutherland–Hodgman, single plane). The result is convex and CCW if the
 // input was. An empty result means the polygon lies strictly outside h.
 func (p Polygon) ClipHalfPlane(h HalfPlane) Polygon {
+	out := p.ClipHalfPlaneInto(make(Polygon, 0, len(p)+2), h)
+	if len(out) < 3 {
+		return nil
+	}
+	return out
+}
+
+// ClipHalfPlaneInto is the allocation-free form of ClipHalfPlane: it writes
+// the clipped polygon into dst[:0] (growing it only if its capacity is too
+// small) and returns the result, which may have fewer than 3 vertices when
+// the polygon is clipped away. dst must not alias p. Reusing dst across
+// calls lets hot loops (the dominating-region kernel) clip without heap
+// allocation.
+func (p Polygon) ClipHalfPlaneInto(dst Polygon, h HalfPlane) Polygon {
+	dst = dst[:0]
 	n := len(p)
 	if n == 0 {
-		return nil
+		return dst
 	}
 	// Tolerance scaled by normal magnitude and coordinate size keeps the
 	// classification stable for raw (unnormalized) bisector coefficients.
-	out := make(Polygon, 0, n+2)
 	prev := p[n-1]
 	prevVal := h.Eval(prev)
-	tolAt := func(q Point) float64 { return Eps * (1 + h.N.Norm()*(1+q.Norm())) }
-	prevIn := prevVal <= tolAt(prev)
+	nNorm := h.N.Norm()
+	prevIn := prevVal <= Eps*(1+nNorm*(1+prev.Norm()))
 	for i := 0; i < n; i++ {
 		cur := p[i]
 		curVal := h.Eval(cur)
-		curIn := curVal <= tolAt(cur)
+		curIn := curVal <= Eps*(1+nNorm*(1+cur.Norm()))
 		switch {
 		case prevIn && curIn:
-			out = append(out, cur)
+			dst = append(dst, cur)
 		case prevIn && !curIn:
-			out = append(out, intersectEdgePlane(prev, cur, prevVal, curVal))
+			dst = append(dst, intersectEdgePlane(prev, cur, prevVal, curVal))
 		case !prevIn && curIn:
-			out = append(out, intersectEdgePlane(prev, cur, prevVal, curVal), cur)
+			dst = append(dst, intersectEdgePlane(prev, cur, prevVal, curVal), cur)
 		}
 		prev, prevVal, prevIn = cur, curVal, curIn
 	}
-	return dedupePolygon(out)
+	return dedupeInPlace(dst)
 }
 
 // ClipConvex clips the convex polygon against another convex polygon
@@ -193,11 +207,13 @@ func intersectEdgePlane(a, b Point, va, vb float64) Point {
 	return a.Lerp(b, t)
 }
 
-// dedupePolygon removes consecutive (near-)duplicate vertices. Polygons with
-// fewer than 3 distinct vertices collapse to nil.
-func dedupePolygon(p Polygon) Polygon {
+// dedupeInPlace removes consecutive (near-)duplicate vertices, compacting p
+// in place. The result may have fewer than 3 vertices (a polygon clipped
+// away); it always shares p's backing array, so capacity is preserved for
+// buffer reuse.
+func dedupeInPlace(p Polygon) Polygon {
 	if len(p) == 0 {
-		return nil
+		return p
 	}
 	// Tolerance proportional to polygon size avoids collapsing legitimate
 	// short edges of tiny cells while removing clip artifacts.
@@ -210,9 +226,6 @@ func dedupePolygon(p Polygon) Polygon {
 	}
 	for len(out) >= 2 && out[0].EqTol(out[len(out)-1], tol) {
 		out = out[:len(out)-1]
-	}
-	if len(out) < 3 {
-		return nil
 	}
 	return out
 }

@@ -22,7 +22,7 @@ func TestSmallestEnclosingCircleSmallCases(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			c := SmallestEnclosingCircle(tt.pts, nil)
+			c := SmallestEnclosingCircle(tt.pts)
 			if !c.ContainsAll(tt.pts) {
 				t.Fatalf("circle %v does not contain all input points", c)
 			}
@@ -47,7 +47,7 @@ func TestSmallestEnclosingCircleSmallCases(t *testing.T) {
 
 func TestSmallestEnclosingCircleDuplicates(t *testing.T) {
 	pts := []Point{Pt(1, 1), Pt(1, 1), Pt(1, 1), Pt(3, 1), Pt(3, 1)}
-	c := SmallestEnclosingCircle(pts, nil)
+	c := SmallestEnclosingCircle(pts)
 	if !c.Center.EqTol(Pt(2, 1), 1e-9) || math.Abs(c.R-1) > 1e-9 {
 		t.Errorf("got %v", c)
 	}
@@ -55,7 +55,7 @@ func TestSmallestEnclosingCircleDuplicates(t *testing.T) {
 
 func TestSmallestEnclosingCircleCollinear(t *testing.T) {
 	pts := []Point{Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(5, 0), Pt(3, 0)}
-	c := SmallestEnclosingCircle(pts, nil)
+	c := SmallestEnclosingCircle(pts)
 	if !c.Center.EqTol(Pt(2.5, 0), 1e-9) || math.Abs(c.R-2.5) > 1e-9 {
 		t.Errorf("got %v", c)
 	}
@@ -71,7 +71,7 @@ func TestSmallestEnclosingCircleVsBruteForce(t *testing.T) {
 		for i := range pts {
 			pts[i] = Pt(rng.Float64()*100-50, rng.Float64()*100-50)
 		}
-		got := SmallestEnclosingCircle(pts, rand.New(rand.NewSource(int64(trial))))
+		got := SmallestEnclosingCircle(pts)
 		if !got.ContainsAll(pts) {
 			t.Fatalf("trial %d: SEC %v misses a point", trial, got)
 		}
@@ -119,7 +119,7 @@ func bruteForceSEC(pts []Point) Circle {
 
 func TestChebyshevCenterMatchesSEC(t *testing.T) {
 	pts := []Point{Pt(0, 0), Pt(4, 0), Pt(4, 3), Pt(0, 3)}
-	center, r := ChebyshevCenter(pts, nil)
+	center, r := ChebyshevCenter(pts)
 	if !center.EqTol(Pt(2, 1.5), 1e-9) {
 		t.Errorf("center = %v", center)
 	}
@@ -128,16 +128,28 @@ func TestChebyshevCenterMatchesSEC(t *testing.T) {
 	}
 }
 
-func TestSECDeterministicWithNilRNG(t *testing.T) {
+func TestSECDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	pts := make([]Point, 50)
 	for i := range pts {
 		pts[i] = Pt(rng.Float64(), rng.Float64())
 	}
-	a := SmallestEnclosingCircle(pts, nil)
-	b := SmallestEnclosingCircle(pts, nil)
+	a := SmallestEnclosingCircle(pts)
+	b := SmallestEnclosingCircle(pts)
 	if a != b {
-		t.Errorf("nil-rng SEC not deterministic: %v vs %v", a, b)
+		t.Errorf("SEC not deterministic: %v vs %v", a, b)
+	}
+	// The in-place variant computes the same circle and must not allocate.
+	scratch := append([]Point(nil), pts...)
+	if c := SmallestEnclosingCircleInPlace(scratch); c != a {
+		t.Errorf("in-place SEC differs: %v vs %v", c, a)
+	}
+	copy(scratch, pts)
+	if allocs := testing.AllocsPerRun(100, func() {
+		copy(scratch, pts)
+		SmallestEnclosingCircleInPlace(scratch)
+	}); allocs > 0 {
+		t.Errorf("SmallestEnclosingCircleInPlace allocates %v/op, want 0", allocs)
 	}
 }
 

@@ -36,12 +36,22 @@ func Workers(w int) int {
 // goroutine with no synchronization overhead. For returns once every call
 // has completed.
 func For(n, workers int, fn func(i int)) {
+	ForWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker's pool slot exposed: fn(w, i) receives
+// the index i to process and the identity w ∈ [0, workers) of the goroutine
+// running it. Callers use w to index per-worker state — scratch arenas,
+// accumulators — without synchronization, since each slot is owned by
+// exactly one goroutine for the duration of the call. The inline
+// (workers <= 1) path always passes w = 0.
+func ForWorker(n, workers int, fn func(w, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -49,16 +59,16 @@ func For(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -51,3 +51,35 @@ func TestForSlotWritesDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// ForWorker must hand every index to exactly one worker slot, with slot IDs
+// in [0, workers), and per-slot state must need no synchronization.
+func TestForWorkerSlotIdentity(t *testing.T) {
+	const n = 1000
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		slots := make([]int, n)
+		For(n, 1, func(i int) { slots[i] = -1 })
+		ForWorker(n, workers, func(w, i int) {
+			if w < 0 || w >= workers {
+				panic("worker slot out of range")
+			}
+			slots[i] = w
+		})
+		perSlot := make(map[int]int)
+		for i, w := range slots {
+			if w < 0 {
+				t.Fatalf("workers=%d: index %d not visited", workers, i)
+			}
+			perSlot[w]++
+		}
+		if len(perSlot) > workers {
+			t.Fatalf("workers=%d: %d distinct slots used", workers, len(perSlot))
+		}
+	}
+	// Inline path must always use slot 0.
+	ForWorker(5, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("inline path passed slot %d", w)
+		}
+	})
+}

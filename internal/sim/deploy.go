@@ -129,12 +129,15 @@ func (r *Result) MinRadius() float64 {
 
 // Deployment is an asynchronous LAACAD run in progress.
 type Deployment struct {
-	sim  *Sim
-	reg  *region.Region
-	net  *wsn.Network
-	cfg  Config
-	rng  *rand.Rand
-	chey *rand.Rand
+	sim *Sim
+	reg *region.Region
+	net *wsn.Network
+	cfg Config
+	rng *rand.Rand
+	// scr is the deployment's geometry workspace: the event loop is a
+	// single goroutine, so one scratch serves every activation and the
+	// dominating-region → Chebyshev pipeline runs allocation-free.
+	scr *core.Scratch
 
 	targets     []geom.Point
 	lastAdvance []float64
@@ -207,7 +210,7 @@ func NewDeployment(reg *region.Region, initial []geom.Point, cfg Config) (*Deplo
 		net:         wsn.New(pos, reg.BBox().Diagonal()/8),
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed + 11)),
-		chey:        rand.New(rand.NewSource(cfg.Seed + 13)),
+		scr:         core.NewScratch(),
 		targets:     append([]geom.Point(nil), pos...),
 		lastAdvance: make([]float64, len(initial)),
 		stable:      make([]int, len(initial)),
@@ -264,9 +267,9 @@ func (d *Deployment) activate(i int) {
 	d.activations++
 	d.advance(i)
 
-	polys := core.CentralizedDominatingRegion(d.net, d.reg, i, d.cfg.K)
+	polys := core.CentralizedDominatingRegionScratch(d.net, d.reg, i, d.cfg.K, d.scr)
 	if len(polys) > 0 {
-		c, ri := geom.ChebyshevCenter(voronoi.Vertices(polys), d.chey)
+		c, ri := core.ChebyshevOfRegion(polys, d.scr)
 		c = d.reg.ClampInside(c)
 		ui := d.net.Position(i)
 		if ri > d.acc.maxCR {
@@ -344,7 +347,7 @@ func (d *Deployment) RunAsync(ctx context.Context) (*Result, error) {
 	n := d.net.Len()
 	radii := make([]float64, n)
 	for i := 0; i < n; i++ {
-		polys := core.CentralizedDominatingRegion(d.net, d.reg, i, d.cfg.K)
+		polys := core.CentralizedDominatingRegionScratch(d.net, d.reg, i, d.cfg.K, d.scr)
 		radii[i] = voronoi.MaxDistFrom(d.net.Position(i), polys)
 	}
 	res := &Result{

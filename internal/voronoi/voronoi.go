@@ -52,83 +52,27 @@ const coincidentTol = 1e-24
 // algorithm.
 //
 // The others slice may contain self's ID; it is ignored.
+//
+// DominatingRegion is the convenience form over a throwaway Scratch; hot
+// loops should hold a Scratch and call DominatingRegionScratch (plus
+// CompactRegion when the result must outlive the Scratch).
+//
+// The kernel walk lives in splitByBudgetScratch (scratch.go): it splits each
+// clip piece by one bisector at a time, tracking how many "closer"
+// generators the current branch may still tolerate. The neighbor list is
+// sorted by ascending distance to self, so once a neighbor's distance d
+// satisfies d ≥ 2·max_{v∈poly}‖v−self‖, every point of poly is at least as
+// close to self as to that neighbor (‖v−o‖ ≥ d − d/2 = d/2 ≥ ‖v−self‖) and
+// the bisector scan stops early — pruning the O(N) scan down to the
+// geometrically relevant neighborhood.
 func DominatingRegion(self Site, others []Site, k int, clip []geom.Polygon) []geom.Polygon {
 	if k < 1 {
 		panic(fmt.Sprintf("voronoi: DominatingRegion needs k >= 1, got %d", k))
 	}
-	// Sort others by distance to self: nearer bisectors cut away more area
-	// early, which prunes the recursion fastest.
-	rel := make([]Site, 0, len(others))
-	for _, o := range others {
-		if o.ID == self.ID {
-			continue
-		}
-		rel = append(rel, o)
-	}
-	sort.Slice(rel, func(a, b int) bool {
-		da := rel[a].Pos.Dist2(self.Pos)
-		db := rel[b].Pos.Dist2(self.Pos)
-		if da != db {
-			return da < db
-		}
-		return rel[a].ID < rel[b].ID
-	})
-
-	var out []geom.Polygon
-	for _, piece := range clip {
-		splitByBudget(self, rel, 0, k-1, piece, &out)
-	}
-	return out
-}
-
-// splitByBudget recursively splits poly by the bisector against others[j...],
-// keeping track of how many "closer" generators (budget) the current branch
-// may still tolerate. Polygons that survive all splits belong to the
-// dominating region.
-//
-// others must be sorted by ascending distance to self: once a neighbor's
-// distance d satisfies d ≥ 2·max_{v∈poly}‖v−self‖, every point of poly is at
-// least as close to self as to that neighbor (‖v−o‖ ≥ d − d/2 = d/2 ≥
-// ‖v−self‖), so neither it nor any farther neighbor can cut the polygon —
-// the loop stops early. This prunes the O(N) bisector scan down to the
-// geometrically relevant neighborhood.
-func splitByBudget(self Site, others []Site, j, budget int, poly geom.Polygon, out *[]geom.Polygon) {
-	for ; j < len(others); j++ {
-		if len(poly) < 3 || poly.Area() < 1e-16 {
-			return
-		}
-		o := others[j]
-		d2 := o.Pos.Dist2(self.Pos)
-		if bound := maxDistToBBox(self.Pos, poly.BBox()); d2 >= 4*bound*bound {
-			break // this and all farther neighbors leave poly untouched
-		}
-		if d2 < coincidentTol {
-			// Coincident generator: tie broken by index uniformly over the
-			// whole plane.
-			if o.ID < self.ID {
-				if budget == 0 {
-					return
-				}
-				budget--
-			}
-			continue
-		}
-		h := geom.Bisector(self.Pos, o.Pos) // contains points at least as close to self
-		if budget == 0 {
-			// No allowance left: keep only the part where o is not closer.
-			poly = poly.ClipHalfPlane(h)
-			continue
-		}
-		// Branch: the part where o is closer consumes one budget unit.
-		closer := poly.ClipHalfPlane(h.Complement())
-		if len(closer) >= 3 && closer.Area() >= 1e-16 {
-			splitByBudget(self, others, j+1, budget-1, closer, out)
-		}
-		poly = poly.ClipHalfPlane(h)
-	}
-	if len(poly) >= 3 && poly.Area() >= 1e-16 {
-		*out = append(*out, poly)
-	}
+	var s Scratch
+	// The Scratch is throwaway, so its arena-owned output needs no compact
+	// copy — nothing will ever recycle it.
+	return DominatingRegionScratch(self, others, k, clip, &s)
 }
 
 // RegionArea returns the total area of a set of disjoint polygons; a
@@ -292,11 +236,14 @@ func refine(sites []Site, cells []Cell) []Cell {
 }
 
 // maxDistToBBox returns the maximum distance from p to the corners of b —
-// an upper bound on the distance from p to any point inside b.
+// an upper bound on the distance from p to any point inside b. Plain
+// Sqrt(dx²+dy²) rather than math.Hypot: Hypot's overflow/underflow guards
+// cost several times the arithmetic and are dead weight at region-coordinate
+// scale, and this runs once per bisector cut in the kernel's hottest loop.
 func maxDistToBBox(p geom.Point, b geom.BBox) float64 {
 	dx := math.Max(math.Abs(b.Min.X-p.X), math.Abs(b.Max.X-p.X))
 	dy := math.Max(math.Abs(b.Min.Y-p.Y), math.Abs(b.Max.Y-p.Y))
-	return math.Hypot(dx, dy)
+	return math.Sqrt(dx*dx + dy*dy)
 }
 
 func genKey(gens []int) string {
@@ -333,28 +280,47 @@ func (d *Diagram) TotalArea() float64 {
 }
 
 // KNearest returns the IDs of the k generators nearest to v, using the same
-// index tie-breaking as the diagram construction.
+// index tie-breaking as the diagram construction. It keeps a bounded
+// selection buffer of the k best candidates instead of sorting all n sites —
+// O(n·k) worst case but O(n + k²) on typical inputs, versus O(n log n) for
+// the full sort, and it never materializes an n-sized scratch array.
 func KNearest(sites []Site, v geom.Point, k int) []int {
+	if k > len(sites) {
+		k = len(sites)
+	}
+	if k <= 0 {
+		return []int{}
+	}
 	type ds struct {
 		d  float64
 		id int
 	}
-	all := make([]ds, len(sites))
-	for i, s := range sites {
-		all[i] = ds{d: s.Pos.Dist2(v), id: s.ID}
-	}
-	sort.Slice(all, func(a, b int) bool {
-		if all[a].d != all[b].d {
-			return all[a].d < all[b].d
+	less := func(a, b ds) bool {
+		if a.d != b.d {
+			return a.d < b.d
 		}
-		return all[a].id < all[b].id
-	})
-	if k > len(all) {
-		k = len(all)
+		return a.id < b.id
 	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = all[i].id
+	best := make([]ds, 0, k)
+	for _, s := range sites {
+		c := ds{d: s.Pos.Dist2(v), id: s.ID}
+		if len(best) == k && !less(c, best[k-1]) {
+			continue
+		}
+		// Insert c at its sorted position, dropping the current worst when
+		// the buffer is full.
+		if len(best) < k {
+			best = append(best, c)
+		} else {
+			best[k-1] = c
+		}
+		for i := len(best) - 1; i > 0 && less(best[i], best[i-1]); i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+	}
+	out := make([]int, len(best))
+	for i, b := range best {
+		out[i] = b.id
 	}
 	sort.Ints(out)
 	return out

@@ -45,6 +45,10 @@ type Network struct {
 	grid     map[gridKey][]int
 	cellSide float64
 	dirty    atomic.Bool
+
+	// version counts position mutations (see Version): the round engine's
+	// incremental cache uses it to detect out-of-band position writes.
+	version atomic.Uint64
 }
 
 type gridKey struct{ cx, cy int }
@@ -102,7 +106,21 @@ func (n *Network) SetPositions(pos []geom.Point) {
 	n.markDirty()
 }
 
-func (n *Network) markDirty() { n.dirty.Store(true) }
+func (n *Network) markDirty() {
+	n.dirty.Store(true)
+	n.version.Add(1)
+}
+
+// Version returns a counter incremented by every position mutation
+// (SetPosition, SetPositions). Consumers that cache position-derived state —
+// the round engine's incremental dirty-set — compare versions to detect
+// writes they did not perform themselves and flush accordingly.
+func (n *Network) Version() uint64 { return n.version.Load() }
+
+// MessageCount returns the total link-level message count — Stats().Messages
+// without materializing the per-node slice, for per-round accounting in hot
+// loops.
+func (n *Network) MessageCount() int64 { return n.msgs.Load() }
 
 // Stats returns a snapshot of the accumulated communication statistics.
 func (n *Network) Stats() Stats {
@@ -178,10 +196,18 @@ func (n *Network) keyOf(p geom.Point) gridKey {
 // NeighborsWithin returns the IDs of all nodes other than i strictly within
 // distance rho of node i (the paper's N(n_i, ρ)).
 func (n *Network) NeighborsWithin(i int, rho float64) []int {
+	return n.NeighborsWithinBuf(i, rho, nil)
+}
+
+// NeighborsWithinBuf is NeighborsWithin with a caller-supplied result
+// buffer: matches are appended to buf[:0] and the (possibly grown) buffer is
+// returned, so a hot loop that reuses its buffer performs the query without
+// heap allocation. The returned order is identical to NeighborsWithin's.
+func (n *Network) NeighborsWithinBuf(i int, rho float64, buf []int) []int {
 	n.rebuild()
 	p := n.pos[i]
 	rho2 := rho * rho
-	var out []int
+	out := buf[:0]
 	r := int(math.Ceil(rho/n.cellSide)) + 1
 	if (2*r+1)*(2*r+1) > len(n.pos) {
 		// The cell window would touch more cells than there are nodes:

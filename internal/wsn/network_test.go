@@ -269,3 +269,52 @@ func equal(a, b []int) bool {
 	}
 	return true
 }
+
+// NeighborsWithinBuf must return the same neighbors in the same order as
+// NeighborsWithin, and reuse the caller's buffer without allocating once
+// capacity suffices.
+func TestNeighborsWithinBuf(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := make([]geom.Point, 200)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	n := New(pts, 0.1)
+	n.Rebuild()
+	buf := make([]int, 0, len(pts))
+	for i := 0; i < len(pts); i += 7 {
+		for _, rho := range []float64{0.05, 0.2, 0.6} {
+			want := n.NeighborsWithin(i, rho)
+			got := n.NeighborsWithinBuf(i, rho, buf)
+			if !equal(got, want) {
+				t.Fatalf("node %d rho=%v: buf variant differs: %v vs %v", i, rho, got, want)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		n.NeighborsWithinBuf(5, 0.3, buf)
+	})
+	if allocs > 0 {
+		t.Errorf("NeighborsWithinBuf with capacity allocates %v/op, want 0", allocs)
+	}
+}
+
+// Version must tick on every position mutation so cache consumers can
+// detect out-of-band writes.
+func TestVersionCountsMutations(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}
+	n := New(pts, 1)
+	v0 := n.Version()
+	n.SetPosition(0, geom.Pt(0.5, 0.5))
+	if n.Version() == v0 {
+		t.Error("SetPosition did not bump Version")
+	}
+	v1 := n.Version()
+	n.SetPositions([]geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)})
+	if n.Version() == v1 {
+		t.Error("SetPositions did not bump Version")
+	}
+	if n.MessageCount() != n.Stats().Messages {
+		t.Error("MessageCount disagrees with Stats().Messages")
+	}
+}

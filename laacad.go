@@ -45,12 +45,25 @@
 // The determinism contract: a run is a pure function of (initial
 // positions, Config) — the worker count and goroutine scheduling never
 // affect the outcome. Trajectories, traces, final positions and radii are
-// bit-identical for every Workers value, because each node draws its
-// randomness (Chebyshev-center shuffles, message-loss sampling) from a
+// bit-identical for every Workers value. The Chebyshev-center computation
+// is fully deterministic (Welzl's algorithm over a permutation derived by
+// hashing the input vertices — no RNG at all), and the one remaining
+// randomized component, Localized-mode message-loss sampling, draws from a
 // private stream derived from (Config.Seed, round, node ID) rather than
 // from a shared sequential source. Deterministic replay therefore holds
 // across machines and core counts: record (region, start, Config) and any
 // run can be reproduced exactly.
+//
+// # Performance
+//
+// The dominating-region hot path runs on per-worker scratch arenas (zero
+// heap allocations in steady state), and the Centralized engine keeps an
+// incremental dirty-set: a node whose exactness neighborhood did not change
+// reuses its previous round outcome bit-for-bit, which collapses the
+// converged tail of a deployment. Config.DisableCache restores the eager
+// engine; results are identical either way. See README.md ("Performance")
+// for the design and the tracked benchmark baselines (BENCH_*.json,
+// cmd/bench).
 package laacad
 
 import (
@@ -87,9 +100,12 @@ func Pt(x, y float64) Point { return geom.Pt(x, y) }
 
 // SmallestEnclosingCircle computes the minimum enclosing circle of a point
 // set with Welzl's algorithm — the Chebyshev-center primitive LAACAD uses.
-// A nil rng makes the (randomized) computation deterministic.
-func SmallestEnclosingCircle(pts []Point, rng *rand.Rand) Circle {
-	return geom.SmallestEnclosingCircle(pts, rng)
+// The computation is a pure, deterministic function of pts: the randomized
+// insertion order that keeps Welzl's algorithm expected-O(n) is derived by
+// hashing the input vertices, so no RNG is needed (or accepted — see the
+// determinism contract above).
+func SmallestEnclosingCircle(pts []Point) Circle {
+	return geom.SmallestEnclosingCircle(pts)
 }
 
 // Region types and constructors.

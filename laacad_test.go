@@ -101,7 +101,7 @@ func polysArea(polys []Polygon) float64 {
 }
 
 func TestPublicSmallestEnclosingCircle(t *testing.T) {
-	c := SmallestEnclosingCircle([]Point{Pt(0, 0), Pt(2, 0)}, nil)
+	c := SmallestEnclosingCircle([]Point{Pt(0, 0), Pt(2, 0)})
 	if !c.Center.Eq(Pt(1, 0)) || math.Abs(c.R-1) > 1e-9 {
 		t.Errorf("got %v", c)
 	}
