@@ -322,6 +322,67 @@ func BenchmarkFinalizeParallel(b *testing.B) {
 	}
 }
 
+// benchScaleSizes is the n-sweep of the scale benchmarks: 1k and 10k always,
+// 100k only without -short (CI's bench smoke runs -short, so the 100k cells
+// are exercised by the committed snapshots, not on shared runners).
+func benchScaleSizes() []int {
+	sizes := []int{1000, 10000}
+	if !testing.Short() {
+		sizes = append(sizes, 100000)
+	}
+	return sizes
+}
+
+// BenchmarkScaleGridDynamic measures the steady-state index pattern of a
+// large deployment: one node moves, then its neighborhood is queried. A
+// throwaway index pays a full O(n) rebuild per move; an incremental one pays
+// for the two touched cells only.
+func BenchmarkScaleGridDynamic(b *testing.B) {
+	for _, n := range benchScaleSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts, pitch := wsn.UnitLattice(n, 0)
+			net := wsn.New(pts, 0.05)
+			net.Rebuild()
+			net.NeighborsWithin(0, 3*pitch) // warm the lazy path too
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j := i % n
+				p := pts[j]
+				net.SetPosition(j, Pt(p.X, p.Y+0.25*pitch))
+				net.SetPosition(j, p)
+				if len(net.NeighborsWithin(j, 3*pitch)) == 0 {
+					b.Fatal("no neighbors")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScaleStepFewMovers measures Engine.Step in the few-movers regime
+// (lattice start, 64 displaced nodes): after the first round populates the
+// outcome cache, each round recomputes only the displaced neighborhoods.
+// The round cost should track what moved, not what exists.
+func BenchmarkScaleStepFewMovers(b *testing.B) {
+	for _, n := range benchScaleSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts, pitch := wsn.UnitLattice(n, 64)
+			cfg := DefaultConfig(2)
+			cfg.Epsilon = pitch / 50
+			eng, err := NewEngine(UnitSquareKm(), pts, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng.Step() // warm: compute and cache every node once
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+		})
+	}
+}
+
 // BenchmarkWelzl measures the Chebyshev-center primitive on 64 points.
 func BenchmarkWelzl(b *testing.B) {
 	rng := rand.New(rand.NewSource(12))

@@ -13,6 +13,16 @@
 //
 // The -stdin mode only reduces (no nested `go test` invocation), which is
 // what CI uses so the benchmarks run exactly once.
+//
+// The compare subcommand
+//
+//	go run ./cmd/bench compare old.json new.json
+//
+// prints per-benchmark time and allocation deltas between two snapshots —
+// the replacement for eyeballing artifact JSONs. With -max-regress it exits
+// non-zero when a common benchmark slowed down by more than the given
+// percentage (left off in CI: shared runners are too noisy to gate
+// wall-times there; the deltas are printed into the job log instead).
 package main
 
 import (
@@ -22,12 +32,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -64,6 +76,12 @@ var benchLine = regexp.MustCompile(
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if err := runCompare(os.Args[2:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		bench     = flag.String("bench", ".", "benchmark pattern passed to go test -bench")
 		benchtime = flag.String("benchtime", "3x", "go test -benchtime value (Nx for fixed iterations)")
@@ -175,6 +193,108 @@ func Reduce(r io.Reader) (*Snapshot, error) {
 		return nil, err
 	}
 	return snap, nil
+}
+
+// runCompare implements `bench compare old.json new.json`: a per-benchmark
+// delta table over the union of both snapshots, with a geometric-mean
+// speedup over the common set.
+func runCompare(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bench compare", flag.ContinueOnError)
+	maxRegress := fs.Float64("max-regress", 0,
+		"fail when any common benchmark's ns/op regressed by more than this percentage (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: bench compare [-max-regress pct] old.json new.json")
+	}
+	oldSnap, err := readSnapshot(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Benchmark, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := make(map[string]Benchmark, len(newSnap.Benchmarks))
+	for _, b := range newSnap.Benchmarks {
+		newBy[b.Name] = b
+	}
+
+	fmt.Fprintf(w, "old: %s (%s, %s)\nnew: %s (%s, %s)\n\n",
+		fs.Arg(0), oldSnap.Date, oldSnap.Label, fs.Arg(1), newSnap.Date, newSnap.Label)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tΔtime\told allocs\tnew allocs\tΔallocs\t")
+	var worst float64
+	var worstName string
+	logSum, common := 0.0, 0
+	// New-snapshot order first (the trajectory being judged), then
+	// old-only rows.
+	for _, nb := range newSnap.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t—\t%.0f\tnew\t—\t%d\tnew\t\n", strings.TrimPrefix(nb.Name, "Benchmark"), nb.NsPerOp, nb.AllocsPerOp)
+			continue
+		}
+		dt := pctDelta(ob.NsPerOp, nb.NsPerOp)
+		da := pctDelta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%d\t%d\t%s\t\n",
+			strings.TrimPrefix(nb.Name, "Benchmark"), ob.NsPerOp, nb.NsPerOp, fmtPct(dt),
+			ob.AllocsPerOp, nb.AllocsPerOp, fmtPct(da))
+		if ob.NsPerOp > 0 && nb.NsPerOp > 0 {
+			logSum += math.Log(ob.NsPerOp / nb.NsPerOp)
+			common++
+		}
+		if dt > worst {
+			worst, worstName = dt, nb.Name
+		}
+	}
+	for _, ob := range oldSnap.Benchmarks {
+		if _, ok := newBy[ob.Name]; !ok {
+			fmt.Fprintf(tw, "%s\t%.0f\t—\tgone\t%d\t—\tgone\t\n", strings.TrimPrefix(ob.Name, "Benchmark"), ob.NsPerOp, ob.AllocsPerOp)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if common > 0 {
+		fmt.Fprintf(w, "\ngeomean speedup over %d common benchmarks: %.2f×\n",
+			common, math.Exp(logSum/float64(common)))
+	}
+	if *maxRegress > 0 && worst > *maxRegress {
+		return fmt.Errorf("%s regressed %.1f%% (> %.1f%% allowed)", worstName, worst, *maxRegress)
+	}
+	return nil
+}
+
+// pctDelta returns the relative change from old to new in percent (positive
+// = regression for cost metrics). A zero old value yields 0: there is no
+// meaningful baseline to regress from.
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func fmtPct(d float64) string {
+	return fmt.Sprintf("%+.1f%%", d)
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
 }
 
 func fatal(err error) {

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -47,6 +50,76 @@ func TestReduce(t *testing.T) {
 	// Rows without -benchmem columns still parse.
 	if b := snap.Benchmarks[3]; b.NsPerOp != 50.5 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
 		t.Errorf("no-mem row parsed as %+v", b)
+	}
+}
+
+// writeSnapshot is a test helper materializing a snapshot JSON on disk.
+func writeSnapshot(t *testing.T, name string, snap Snapshot) string {
+	t.Helper()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsDeltas(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", Snapshot{
+		Date: "2026-07-01", Label: "before",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA/n=1000", NsPerOp: 1000, AllocsPerOp: 100},
+			{Name: "BenchmarkGone", NsPerOp: 5, AllocsPerOp: 1},
+		},
+	})
+	newPath := writeSnapshot(t, "new.json", Snapshot{
+		Date: "2026-07-26", Label: "after",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA/n=1000", NsPerOp: 250, AllocsPerOp: 10},
+			{Name: "BenchmarkFresh", NsPerOp: 7, AllocsPerOp: 2},
+		},
+	})
+	var out strings.Builder
+	if err := runCompare([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"A/n=1000", "-75.0%", "-90.0%", "new", "gone", "geomean speedup over 1 common benchmarks: 4.00×"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareMaxRegressGate(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", Snapshot{
+		Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 100}},
+	})
+	newPath := writeSnapshot(t, "new.json", Snapshot{
+		Benchmarks: []Benchmark{{Name: "BenchmarkA", NsPerOp: 180}},
+	})
+	var out strings.Builder
+	if err := runCompare([]string{oldPath, newPath}, &out); err != nil {
+		t.Errorf("without -max-regress a regression must only be reported, got %v", err)
+	}
+	if err := runCompare([]string{"-max-regress", "50", oldPath, newPath}, &out); err == nil {
+		t.Error("an 80%% regression must trip -max-regress 50")
+	}
+	if err := runCompare([]string{"-max-regress", "90", oldPath, newPath}, &out); err != nil {
+		t.Errorf("an 80%% regression must pass -max-regress 90, got %v", err)
+	}
+}
+
+func TestCompareBadArgs(t *testing.T) {
+	var out strings.Builder
+	if err := runCompare([]string{"only-one.json"}, &out); err == nil {
+		t.Error("compare with one file must error")
+	}
+	if err := runCompare([]string{"nope1.json", "nope2.json"}, &out); err == nil {
+		t.Error("compare with missing files must error")
 	}
 }
 

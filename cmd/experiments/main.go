@@ -41,7 +41,7 @@ func run(args []string) error {
 		quick    = fs.Bool("quick", false, "reduced workload sizes")
 		seed     = fs.Int64("seed", 1, "random seed")
 		outdir   = fs.String("outdir", "", "directory for CSV outputs (optional)")
-		workers  = fs.Int("workers", -1, "goroutines running independent trials (0 = serial, -1 = all CPUs); results are identical for any value")
+		workers  = fs.Int("workers", -1, "goroutines running independent trials and coverage verification (0 = serial, -1 = all CPUs); results are identical for any value")
 		progress = fs.String("progress", "", "progress file: completed experiments are recorded here on interrupt and skipped on rerun")
 	)
 	if err := fs.Parse(args); err != nil {

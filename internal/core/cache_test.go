@@ -8,6 +8,7 @@ import (
 
 	"laacad/internal/geom"
 	"laacad/internal/region"
+	"laacad/internal/wsn"
 )
 
 // runEngine drives a fixed configuration to convergence (or MaxRounds) and
@@ -234,6 +235,152 @@ func TestDirtySetFlushesOnExternalPositionWrite(t *testing.T) {
 	eagerTrace, eagerRes := run(true)
 	cachedTrace, cachedRes := run(false)
 	assertIdentical(t, "external-write", eagerTrace, cachedTrace, eagerRes, cachedRes)
+}
+
+// The scaling acceptance criterion of the incremental spatial layer: in the
+// few-movers regime at large n, Engine.Step must neither rebuild the grid
+// from scratch nor fall back to the dense pair-scan — moves are absorbed as
+// incremental bucket updates and invalidation runs as inverse range queries
+// whose visit counts track what moved, not what exists.
+func TestFewMoversStepAvoidsRebuildAndPairScan(t *testing.T) {
+	n := 10000
+	if testing.Short() {
+		n = 2500
+	}
+	start, pitch := wsn.UnitLattice(n, 16)
+	reg := region.UnitSquareKm()
+	cfg := DefaultConfig(2)
+	cfg.Epsilon = pitch / 50
+	cfg.Seed = 1
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Step() // cold round: computes and caches every node
+	rebuilds := eng.Network().Rebuilds()
+	before := eng.CacheCounters()
+	movedTotal := 0
+	for r := 0; r < 5; r++ {
+		st, done := eng.Step()
+		movedTotal += st.Moved
+		if done {
+			t.Fatalf("converged at round %d; the displaced lattice should stay in the few-movers regime", st.Round)
+		}
+	}
+	after := eng.CacheCounters()
+	if got := eng.Network().Rebuilds(); got != rebuilds {
+		t.Errorf("steady-state steps performed %d full grid rebuilds, want 0", got-rebuilds)
+	}
+	if after.PairScans != before.PairScans {
+		t.Errorf("steady-state steps fell back to the dense pair-scan %d times, want 0",
+			after.PairScans-before.PairScans)
+	}
+	if after.InverseScans == before.InverseScans {
+		t.Error("inverse invalidation never ran despite nodes moving")
+	}
+	// The inverse queries must visit far fewer entries than the pair-scan
+	// would have (valid ≈ n per round, movers ≈ movedTotal): demand at least
+	// a 4× margin over the dense cost.
+	dense := uint64(movedTotal) * uint64(n)
+	if visits := after.CandidateVisits - before.CandidateVisits; visits*4 > dense {
+		t.Errorf("inverse invalidation visited %d candidates over %d movers (dense cost %d): not local",
+			visits, movedTotal, dense)
+	}
+	if moves := eng.Network().IncrementalMoves(); moves == 0 {
+		t.Error("no incremental index updates recorded; moves went through the bulk path")
+	}
+}
+
+// A fully converged step must do no invalidation or index work at all.
+func TestConvergedStepDoesNoSpatialWork(t *testing.T) {
+	start, _ := wsn.UnitLattice(900, 0)
+	reg := region.UnitSquareKm()
+	cfg := DefaultConfig(2)
+	cfg.Epsilon = reg.BBox().Diagonal() // converged from round one
+	cfg.Seed = 3
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := eng.Step(); !done {
+		t.Fatal("expected immediate convergence")
+	}
+	rebuilds := eng.Network().Rebuilds()
+	moves := eng.Network().IncrementalMoves()
+	before := eng.CacheCounters()
+	for r := 0; r < 3; r++ {
+		eng.Step()
+	}
+	if eng.Network().Rebuilds() != rebuilds || eng.Network().IncrementalMoves() != moves {
+		t.Error("converged steps touched the spatial index")
+	}
+	if eng.CacheCounters() != before {
+		t.Errorf("converged steps did invalidation work: %+v -> %+v", before, eng.CacheCounters())
+	}
+}
+
+// The incremental index must be semantically invisible, end to end: a run
+// whose grid is forced through a full from-scratch rebuild (and cache flush)
+// before every round is bit-identical to the incrementally maintained run,
+// across seeds, sizes, coverage orders and both update orders.
+func TestIncrementalIndexMatchesForcedRebuildTrajectories(t *testing.T) {
+	reg := region.UnitSquareKm()
+	cells := []struct {
+		seed int64
+		n, k int
+	}{{1, 60, 2}, {2, 150, 3}}
+	orders := []UpdateOrder{Synchronous, Sequential}
+	if testing.Short() {
+		cells = cells[:1]
+	}
+	for _, cell := range cells {
+		for _, order := range orders {
+			cell, order := cell, order
+			t.Run(fmt.Sprintf("seed=%d/n=%d/k=%d/%v", cell.seed, cell.n, cell.k, order), func(t *testing.T) {
+				t.Parallel()
+				rng := rand.New(rand.NewSource(cell.seed))
+				start := region.PlaceUniform(reg, cell.n, rng)
+				cfg := DefaultConfig(cell.k)
+				cfg.Epsilon = 1e-3
+				cfg.MaxRounds = 40
+				cfg.Seed = cell.seed
+				cfg.Order = order
+				run := func(forceRebuild bool) ([]RoundStats, *Result) {
+					eng, err := New(reg, start, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for r := 0; r < cfg.MaxRounds; r++ {
+						if forceRebuild {
+							// A self-assigning bulk write dirties the whole
+							// index (and flushes the cache via the version
+							// bump): the next round rebuilds from scratch.
+							eng.Network().SetPositions(eng.Positions())
+						}
+						if _, done := eng.Step(); done {
+							break
+						}
+					}
+					res, err := eng.Finalize()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return eng.Trace(), res
+				}
+				rbTrace, rbRes := run(true)
+				workerCounts := []int{0}
+				if order == Synchronous {
+					workerCounts = append(workerCounts, 3, runtime.NumCPU())
+				}
+				for _, w := range workerCounts {
+					cfg.Workers = w
+					incTrace, incRes := run(false)
+					assertIdentical(t, fmt.Sprintf("incremental-vs-rebuild workers=%d", w),
+						rbTrace, incTrace, rbRes, incRes)
+				}
+			})
+		}
+	}
 }
 
 // stepAllocCeiling is the committed allocs/op budget for a steady-state

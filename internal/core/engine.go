@@ -108,7 +108,7 @@ type Engine struct {
 	observer func(RoundStats) error
 
 	// pool holds one Scratch per worker slot so the per-node geometry
-	// pipeline runs without heap allocation; outs/next/movedBuf are the
+	// pipeline runs without heap allocation; outs/nextBuf/movedBuf are the
 	// reusable per-round buffers.
 	pool     []*Scratch
 	outs     []nodeOutcome
@@ -126,7 +126,45 @@ type Engine struct {
 	// (anything other than the engine's own moves) flush the cache.
 	cache    []nodeCache
 	cacheVer uint64
+
+	// Grid-accelerated invalidation state. rhoBound[c] upper-bounds the
+	// exactness radius ρ of the valid cache entries whose nodes currently
+	// sit in grid cell c, and rhoMax is the global maximum — together they
+	// let an inverse range query around a moved endpoint prune cells that
+	// cannot possibly hold an affected entry. boundGen records the index
+	// geometry (wsn.GridShape.Gen) the bounds were computed for; a full grid
+	// rebuild invalidates the cell numbering, so a mismatch forces a bound
+	// recomputation. seqBoundsLive tracks whether the bounds are being kept
+	// current within a Sequential sweep (see invalidateAround).
+	rhoBound      []float64
+	rhoMax        float64
+	boundGen      uint64
+	seqBoundsLive bool
+	counters      CacheCounters
 }
+
+// CacheCounters reports the work performed by the incremental cache's
+// invalidation machinery — the observability surface behind the scaling
+// contract that steady-state round cost is proportional to what moved, not
+// what exists. Read it via Engine.CacheCounters; all counters are cumulative
+// over the engine's lifetime.
+type CacheCounters struct {
+	// InverseScans and PairScans count invalidation passes executed as grid
+	// inverse range queries vs. the dense pair-scan fallback (chosen only
+	// when exactness balls are so large the grid window would cover
+	// everything anyway).
+	InverseScans, PairScans uint64
+	// CellVisits and CandidateVisits count grid cells inspected and cache
+	// entries distance-tested by inverse queries.
+	CellVisits, CandidateVisits uint64
+	// PairVisits counts cache entries visited by pair-scans.
+	PairVisits uint64
+	// BoundRebuilds counts recomputations of the per-cell ρ-bound array.
+	BoundRebuilds uint64
+}
+
+// CacheCounters returns the cumulative invalidation-work counters.
+func (e *Engine) CacheCounters() CacheCounters { return e.counters }
 
 // nodeCache is one node's cached round outcome plus the exactness radius
 // that bounds which position changes can invalidate it.
@@ -136,10 +174,12 @@ type nodeCache struct {
 	out   nodeOutcome
 }
 
-// movedNode records one applied move for cache invalidation: both endpoints
-// matter, because a node entering an exactness ball invalidates it by its
-// new position and a node leaving it by its old one.
+// movedNode records one move for application and cache invalidation: the ID
+// drives the incremental position write, and both endpoints matter for
+// invalidation, because a node entering an exactness ball invalidates it by
+// its new position and a node leaving it by its old one.
 type movedNode struct {
+	id       int
 	old, new geom.Point
 }
 
@@ -167,7 +207,13 @@ func New(reg *region.Region, initial []geom.Point, cfg Config) (*Engine, error) 
 	}
 	gamma := cfg.Gamma
 	if gamma <= 0 {
-		gamma = reg.BBox().Diagonal() / 8 // spatial-index cell size only
+		// Centralized mode has no radio range; gamma only floors the spatial
+		// index's cell side. Keep the floor far below the deployment scale so
+		// the index's occupancy-adaptive rule (cell ≈ span/√n) decides — at
+		// 10k+ nodes a diagonal-scale floor would put hundreds of nodes in
+		// every cell. Query answers are independent of cell geometry, so this
+		// is purely an indexing choice.
+		gamma = reg.BBox().Diagonal() * 1e-3
 	}
 	det := cfg.Detector
 	if det == nil {
@@ -305,8 +351,9 @@ func (e *Engine) cacheEnabled() bool {
 }
 
 // ensureBuffers sizes the per-round buffers and the dirty-set cache for n
-// nodes. A node-count change (AddNode/RemoveNode rebuilt the network)
-// discards the cache wholesale.
+// nodes. A node-count change (AddNode/RemoveNode, which also drop the cache
+// explicitly) discards the cache wholesale here too: its indices belong to
+// the old numbering.
 func (e *Engine) ensureBuffers(n int) {
 	if cap(e.outs) < n {
 		e.outs = make([]nodeOutcome, n)
@@ -341,17 +388,55 @@ func (e *Engine) flushCache() {
 // site set by its new position, a node leaving it by its old one, and any
 // move inside it changes a site's coordinates. Entries outside stay valid —
 // the expanding search provably never read those positions, so recomputing
-// would reproduce the cached outcome bit for bit. Cost is
-// O(valid × moved): cheap early (few valid) and cheap late (few moved).
+// would reproduce the cached outcome bit for bit.
+//
+// Strategy: the balls live in the same space as the spatial index, so each
+// moved endpoint runs an inverse range query against the grid — visit only
+// cells within the largest exactness radius, prune those whose per-cell
+// ρ-bound cannot reach the endpoint, and distance-test the survivors. That
+// makes invalidation O(moved × local). When the balls are so large that the
+// query window would cover the whole grid anyway (early rounds, sparse
+// neighborhoods), the dense O(valid × moved) pair-scan is cheaper and is
+// used as the fallback; both strategies invalidate exactly the same set.
 func (e *Engine) invalidateMoved() {
 	if len(e.movedBuf) == 0 {
 		return
 	}
+	valid := 0
+	rhoMax := 0.0
+	for i := range e.cache {
+		if c := &e.cache[i]; c.valid {
+			valid++
+			if c.rho > rhoMax {
+				rhoMax = c.rho
+			}
+		}
+	}
+	if valid == 0 {
+		return
+	}
+	if 2*e.net.CellWindowSize(rhoMax) >= valid {
+		e.pairScanMoved()
+		return
+	}
+	e.rebuildRhoBounds()
+	e.counters.InverseScans++
+	for _, m := range e.movedBuf {
+		e.invalidateNear(m.old)
+		e.invalidateNear(m.new)
+	}
+}
+
+// pairScanMoved is the dense invalidation fallback: every valid entry is
+// tested against every recorded move.
+func (e *Engine) pairScanMoved() {
+	e.counters.PairScans++
 	for i := range e.cache {
 		c := &e.cache[i]
 		if !c.valid {
 			continue
 		}
+		e.counters.PairVisits++
 		ui := e.net.Position(i) // unchanged: moved nodes were invalidated already
 		r2 := c.rho * c.rho
 		for _, m := range e.movedBuf {
@@ -361,6 +446,61 @@ func (e *Engine) invalidateMoved() {
 			}
 		}
 	}
+}
+
+// rebuildRhoBounds recomputes the per-cell ρ-bound array (and rhoMax) from
+// the valid cache entries, in O(n + cells), and stamps it with the index
+// generation it was computed against.
+func (e *Engine) rebuildRhoBounds() {
+	shape := e.net.GridShape()
+	ncells := shape.NX * shape.NY
+	if cap(e.rhoBound) < ncells {
+		e.rhoBound = make([]float64, ncells)
+	}
+	e.rhoBound = e.rhoBound[:ncells]
+	clear(e.rhoBound)
+	e.rhoMax = 0
+	for i := range e.cache {
+		c := &e.cache[i]
+		if !c.valid {
+			continue
+		}
+		ci := e.net.CellOfNode(i)
+		if c.rho > e.rhoBound[ci] {
+			e.rhoBound[ci] = c.rho
+		}
+		if c.rho > e.rhoMax {
+			e.rhoMax = c.rho
+		}
+	}
+	e.boundGen = shape.Gen
+	e.counters.BoundRebuilds++
+}
+
+// invalidateNear runs one inverse range query: drop every valid cache entry
+// whose exactness ball contains p. The cell-window walk itself lives with
+// the index (wsn.VisitCellsWithin); here each visited cell is pruned with
+// the per-cell ρ-bound (an upper bound, so pruning can only skip cells that
+// provably hold no affected entry) and surviving candidates get the exact
+// distance test, which matches the pair-scan predicate bit for bit.
+func (e *Engine) invalidateNear(p geom.Point) {
+	e.net.VisitCellsWithin(p, e.rhoMax, func(ci int) {
+		b := e.rhoBound[ci]
+		if b == 0 || e.net.CellDist2(ci, p) > b*b {
+			return
+		}
+		e.counters.CellVisits++
+		for _, j := range e.net.CellNodes(ci) {
+			c := &e.cache[j]
+			if !c.valid {
+				continue
+			}
+			e.counters.CandidateVisits++
+			if e.net.Position(int(j)).Dist2(p) <= c.rho*c.rho {
+				c.valid = false
+			}
+		}
+	})
 }
 
 // Step executes one LAACAD round and returns its statistics. The returned
@@ -392,8 +532,17 @@ func (e *Engine) Step() (RoundStats, bool) {
 	outs := e.outs
 	if sequential {
 		e.ensurePool(1)
+		// The per-cell ρ-bounds are rebuilt lazily by the first move of the
+		// sweep and then kept current entry-by-entry (see invalidateAround),
+		// so a converged sweep pays nothing for them.
+		e.seqBoundsLive = false
 		for i := 0; i < n; i++ {
 			outs[i] = e.stepNodeAny(i, round, isBoundary, e.pool[0], cacheOn)
+			if cacheOn && e.seqBoundsLive {
+				if c := &e.cache[i]; c.valid {
+					e.noteRhoBound(i, c.rho)
+				}
+			}
 			if ui := e.net.Position(i); outs[i].next != ui {
 				e.net.SetPosition(i, outs[i].next)
 				if cacheOn {
@@ -412,17 +561,11 @@ func (e *Engine) Step() (RoundStats, bool) {
 	}
 
 	polysPerNode := make([][]geom.Polygon, n)
-	next := e.nextBuf
 	moved := 0
-	changed := false
 	e.movedBuf = e.movedBuf[:0]
 	for i := range outs {
 		o := &outs[i]
 		polysPerNode[i] = o.polys
-		next[i] = o.next
-		if !sequential && o.next != e.net.Position(i) {
-			changed = true
-		}
 		if o.empty {
 			continue
 		}
@@ -440,24 +583,41 @@ func (e *Engine) Step() (RoundStats, bool) {
 			if o.moveDist > stats.MaxMove {
 				stats.MaxMove = o.moveDist
 			}
-			if !sequential && cacheOn {
-				e.cache[i].valid = false // own position is about to change
-				e.movedBuf = append(e.movedBuf, movedNode{old: e.net.Position(i), new: o.next})
+			if !sequential {
+				if cacheOn {
+					e.cache[i].valid = false // own position is about to change
+				}
+				e.movedBuf = append(e.movedBuf, movedNode{id: i, old: e.net.Position(i), new: o.next})
 			}
 		}
 	}
 	if math.IsInf(stats.MinCircumradius, 1) {
 		stats.MinCircumradius = 0
 	}
-	if !sequential && changed {
-		// Skipped when every node stands still (the converged tail): the
-		// write would only re-mark the spatial grid dirty and force a
-		// rebuild to an identical index next round.
-		e.net.SetPositions(next)
+	if !sequential && len(e.movedBuf) > 0 {
+		if len(e.movedBuf)*4 >= n {
+			// Most of the network moved (the active phase): one bulk write
+			// plus a CSR counting-sort rebuild has better constants than
+			// that many incremental bucket edits.
+			next := e.nextBuf
+			for i := range outs {
+				next[i] = outs[i].next
+			}
+			e.net.SetPositions(next)
+		} else {
+			// Apply only what moved: each write is an incremental index
+			// update (two cell buckets), so the converged tail writes
+			// nothing and a few movers cost O(moved), never an O(n) grid
+			// rebuild. Both branches leave the index answering queries
+			// identically, so the split is invisible to trajectories.
+			for _, m := range e.movedBuf {
+				e.net.SetPosition(m.id, m.new)
+			}
+		}
 		if cacheOn {
 			e.invalidateMoved()
-			e.cacheVer = e.net.Version()
 		}
+		e.cacheVer = e.net.Version()
 	}
 	e.regions = polysPerNode
 	e.round++
@@ -473,19 +633,64 @@ func (e *Engine) Step() (RoundStats, bool) {
 // invalidateAround is the Sequential-order form of invalidateMoved: applied
 // immediately after each position change, so nodes processed later in the
 // same round see a cache that reflects every earlier move — exactly
-// mirroring what the eager Gauss–Seidel sweep would recompute.
+// mirroring what the eager Gauss–Seidel sweep would recompute. The first
+// move of a sweep builds the per-cell ρ-bounds; entries recomputed later in
+// the same sweep feed them via noteRhoBound, so the bounds stay upper bounds
+// throughout and the inverse queries never miss an affected entry.
 func (e *Engine) invalidateAround(i int, old, new geom.Point) {
 	e.cache[i].valid = false
-	for j := range e.cache {
-		c := &e.cache[j]
-		if !c.valid {
-			continue
+	boundsStale := !e.seqBoundsLive || e.boundGen != e.net.GridShape().Gen
+	rhoMax := e.rhoMax
+	if boundsStale {
+		// A cheap O(valid) scan decides the strategy; the per-cell bound
+		// array is only built if the inverse branch is actually taken.
+		rhoMax = 0
+		for j := range e.cache {
+			if c := &e.cache[j]; c.valid && c.rho > rhoMax {
+				rhoMax = c.rho
+			}
 		}
-		uj := e.net.Position(j)
-		r2 := c.rho * c.rho
-		if uj.Dist2(old) <= r2 || uj.Dist2(new) <= r2 {
-			c.valid = false
+	}
+	if 2*e.net.CellWindowSize(rhoMax) >= len(e.cache) {
+		// Degenerate balls: the dense scan is cheaper than a whole-grid walk.
+		e.counters.PairScans++
+		for j := range e.cache {
+			c := &e.cache[j]
+			if !c.valid {
+				continue
+			}
+			e.counters.PairVisits++
+			uj := e.net.Position(j)
+			r2 := c.rho * c.rho
+			if uj.Dist2(old) <= r2 || uj.Dist2(new) <= r2 {
+				c.valid = false
+			}
 		}
+		return
+	}
+	if boundsStale {
+		e.rebuildRhoBounds()
+		e.seqBoundsLive = true
+	}
+	e.counters.InverseScans++
+	e.invalidateNear(old)
+	e.invalidateNear(new)
+}
+
+// noteRhoBound folds one freshly written cache entry into the live per-cell
+// ρ-bounds during a Sequential sweep. A grid rebuild between moves renumbers
+// the cells, in which case the bounds are recomputed wholesale.
+func (e *Engine) noteRhoBound(i int, rho float64) {
+	if e.boundGen != e.net.GridShape().Gen {
+		e.rebuildRhoBounds()
+		return
+	}
+	ci := e.net.CellOfNode(i)
+	if rho > e.rhoBound[ci] {
+		e.rhoBound[ci] = rho
+	}
+	if rho > e.rhoMax {
+		e.rhoMax = rho
 	}
 }
 
@@ -585,36 +790,33 @@ func (e *Engine) DebugRegions() [][]geom.Polygon {
 
 // RemoveNode deletes node i from the deployment (failure injection). The
 // engine continues with the remaining nodes; convergence state is reset.
+// The network is mutated in place (message accounting continues), so only
+// the removal itself is paid — no full reconstruction.
 func (e *Engine) RemoveNode(i int) error {
-	pos := e.net.Positions()
-	if i < 0 || i >= len(pos) {
-		return fmt.Errorf("core: RemoveNode index %d out of range [0,%d)", i, len(pos))
+	n := e.net.Len()
+	if i < 0 || i >= n {
+		return fmt.Errorf("core: RemoveNode index %d out of range [0,%d)", i, n)
 	}
-	if len(pos)-1 < e.cfg.K {
-		return fmt.Errorf("core: removing node %d would leave %d < K=%d nodes", i, len(pos)-1, e.cfg.K)
+	if n-1 < e.cfg.K {
+		return fmt.Errorf("core: removing node %d would leave %d < K=%d nodes", i, n-1, e.cfg.K)
 	}
-	pos = append(pos[:i], pos[i+1:]...)
-	e.msgBase += e.net.MessageCount()
-	e.net = wsn.New(pos, e.net.Gamma())
-	e.prevMsgs = 0
+	e.net.RemoveNode(i)
 	e.converged = false
-	// The cache indexes the old node numbering and the fresh network's
-	// mutation counter restarts, so the version check cannot be trusted
-	// across the swap (a paired RemoveNode+AddNode restores the node count
-	// and can collide on version): drop the cache explicitly.
+	// The cache indexes the old node numbering (removal renumbers every
+	// node above i), so no per-entry salvage is possible: drop it wholesale.
 	e.cache = nil
 	return nil
 }
 
 // AddNode inserts a node at p (clamped into the region). Convergence state
-// is reset.
+// is reset. Like RemoveNode, the network is extended in place.
 func (e *Engine) AddNode(p geom.Point) {
-	pos := append(e.net.Positions(), e.reg.ClampInside(p))
-	e.msgBase += e.net.MessageCount()
-	e.net = wsn.New(pos, e.net.Gamma())
-	e.prevMsgs = 0
+	e.net.AddNode(e.reg.ClampInside(p))
 	e.converged = false
-	e.cache = nil // see RemoveNode: never trust versions across a network swap
+	// A node-count change resizes the cache and every neighborhood near p
+	// changed; ensureBuffers discards the old cache on the size mismatch,
+	// dropping it here just makes that explicit.
+	e.cache = nil
 }
 
 // computeRegions returns each node's dominating region under the configured

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"laacad/internal/geom"
+	"laacad/internal/parallel"
 	"laacad/internal/region"
 )
 
@@ -55,8 +56,20 @@ func (r Report) String() string {
 
 // Verify samples reg on a resolution×resolution grid and measures the
 // coverage depth of the deployment given by node positions and per-node
-// sensing radii. It panics if positions and radii lengths differ.
+// sensing radii. It panics if positions and radii lengths differ. The
+// sample loop runs serially; use VerifyWorkers for the parallel form.
 func Verify(positions []geom.Point, radii []float64, reg *region.Region, resolution int) Report {
+	return VerifyWorkers(positions, radii, reg, resolution, 0)
+}
+
+// VerifyWorkers is Verify with the per-sample depth measurements fanned
+// across worker goroutines (the shared convention of parallel.Workers:
+// 0 = serial, negative = all CPUs). The report is bit-identical for every
+// worker count: each worker reduces its own partial extrema tracking the
+// earliest sample index achieving them, and the final reduction breaks ties
+// the same way — so the MinDepth witness (WorstPoint) is always the sample
+// the serial sweep would have picked.
+func VerifyWorkers(positions []geom.Point, radii []float64, reg *region.Region, resolution, workers int) Report {
 	if len(positions) != len(radii) {
 		panic(fmt.Sprintf("coverage: %d positions vs %d radii", len(positions), len(radii)))
 	}
@@ -89,8 +102,20 @@ func Verify(positions []geom.Point, radii []float64, reg *region.Region, resolut
 		xs[i] = s.p.X
 	}
 
-	var totalDepth int64
-	for _, v := range samples {
+	type partial struct {
+		minDepth, minIdx int
+		maxDepth         int
+		total            int64
+		hist             [16]int
+	}
+	w := parallel.Workers(workers)
+	parts := make([]partial, max(w, 1))
+	for i := range parts {
+		parts[i].minDepth = math.MaxInt
+		parts[i].minIdx = math.MaxInt
+	}
+	parallel.ForWorker(len(samples), w, func(wk, si int) {
+		v := samples[si]
 		depth := 0
 		lo := sort.SearchFloat64s(xs, v.X-maxR)
 		for j := lo; j < len(sensors) && xs[j] <= v.X+maxR; j++ {
@@ -99,20 +124,36 @@ func Verify(positions []geom.Point, radii []float64, reg *region.Region, resolut
 				depth++
 			}
 		}
-		totalDepth += int64(depth)
-		if depth < rep.MinDepth {
-			rep.MinDepth = depth
-			rep.WorstPoint = v
+		p := &parts[wk]
+		p.total += int64(depth)
+		if depth < p.minDepth || (depth == p.minDepth && si < p.minIdx) {
+			p.minDepth, p.minIdx = depth, si
 		}
-		if depth > rep.MaxDepth {
-			rep.MaxDepth = depth
+		if depth > p.maxDepth {
+			p.maxDepth = depth
 		}
-		bin := depth
-		if bin >= len(rep.DepthHist) {
-			bin = len(rep.DepthHist) - 1
+		p.hist[min(depth, len(p.hist)-1)]++
+	})
+
+	var totalDepth int64
+	minIdx := math.MaxInt
+	for i := range parts {
+		p := &parts[i]
+		if p.minIdx == math.MaxInt {
+			continue // worker got no samples
 		}
-		rep.DepthHist[bin]++
+		totalDepth += p.total
+		if p.minDepth < rep.MinDepth || (p.minDepth == rep.MinDepth && p.minIdx < minIdx) {
+			rep.MinDepth, minIdx = p.minDepth, p.minIdx
+		}
+		if p.maxDepth > rep.MaxDepth {
+			rep.MaxDepth = p.maxDepth
+		}
+		for d, c := range p.hist {
+			rep.DepthHist[d] += c
+		}
 	}
+	rep.WorstPoint = samples[minIdx]
 	rep.MeanDepth = float64(totalDepth) / float64(rep.Samples)
 	return rep
 }

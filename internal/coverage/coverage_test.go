@@ -2,6 +2,8 @@ package coverage
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"laacad/internal/geom"
@@ -142,5 +144,34 @@ func TestReportString(t *testing.T) {
 	rep := Report{Samples: 5, MinDepth: 1, MaxDepth: 3, MeanDepth: 2}
 	if rep.String() == "" {
 		t.Error("String should produce output")
+	}
+}
+
+// VerifyWorkers must produce a bit-identical Report (including the MinDepth
+// witness) for every worker count, across deployments with plenty of depth
+// ties for the tie-break rule to resolve.
+func TestVerifyWorkersMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 6; trial++ {
+		reg := region.UnitSquareKm()
+		if trial%2 == 1 {
+			reg = region.SquareWithTwoObstacles()
+		}
+		n := 20 + rng.Intn(120)
+		pos := make([]geom.Point, n)
+		radii := make([]float64, n)
+		for i := range pos {
+			pos[i] = geom.Pt(rng.Float64(), rng.Float64())
+			radii[i] = 0.02 + rng.Float64()*0.2
+		}
+		res := 30 + rng.Intn(60)
+		serial := Verify(pos, radii, reg, res)
+		for _, w := range []int{2, 3, 7, -1} {
+			got := VerifyWorkers(pos, radii, reg, res, w)
+			if !reflect.DeepEqual(serial, got) {
+				t.Fatalf("trial %d workers=%d: report differs:\nserial %+v\nparallel %+v",
+					trial, w, serial, got)
+			}
+		}
 	}
 }

@@ -80,7 +80,7 @@ func runAblationAlpha(cfg RunConfig) (*Output, error) {
 			fmt.Sprint(res.Converged), f64(worstMove), f64(res.MaxRadius())})
 		csv = append(csv, []string{f64(a), fmt.Sprint(res.Rounds),
 			fmt.Sprint(res.Converged), f64(worstMove), f64(res.MaxRadius())})
-		rep := coverage.Verify(res.Positions, res.Radii, reg, 60)
+		rep := coverage.VerifyWorkers(res.Positions, res.Radii, reg, 60, cfg.Workers)
 		out.Checks = append(out.Checks,
 			check(fmt.Sprintf("α=%.2f converges and covers", a),
 				res.Converged && rep.KCovered(k),
@@ -141,8 +141,8 @@ func runAblationLocalized(cfg RunConfig) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	cRep := coverage.Verify(cRes.Positions, cRes.Radii, reg, 60)
-	lRep := coverage.Verify(lRes.Positions, lRes.Radii, reg, 60)
+	cRep := coverage.VerifyWorkers(cRes.Positions, cRes.Radii, reg, 60, cfg.Workers)
+	lRep := coverage.VerifyWorkers(lRes.Positions, lRes.Radii, reg, 60, cfg.Workers)
 	_ = boundary.AngularGap{} // detector exercised inside the localized engine
 
 	out := &Output{
@@ -271,7 +271,7 @@ func runAblationGrid(cfg RunConfig) (*Output, error) {
 	csv := [][]string{{"resolution", "samples", "min_depth", "mean_depth", "covered"}}
 	verdicts := map[int]bool{}
 	for _, r := range resolutions {
-		rep := coverage.Verify(res.Positions, res.Radii, reg, r)
+		rep := coverage.VerifyWorkers(res.Positions, res.Radii, reg, r, cfg.Workers)
 		verdicts[r] = rep.KCovered(k)
 		rows = append(rows, []string{fmt.Sprint(r), fmt.Sprint(rep.Samples),
 			fmt.Sprint(rep.MinDepth), f64(rep.MeanDepth), fmt.Sprint(rep.KCovered(k))})

@@ -60,7 +60,7 @@ func runAblationAsync(cfg RunConfig) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := coverage.Verify(res.Positions, res.Radii, reg, 60)
+		rep := coverage.VerifyWorkers(res.Positions, res.Radii, reg, 60, cfg.Workers)
 		rows = append(rows, row{
 			name:    order.String(),
 			rStar:   res.MaxRadius(),
@@ -78,7 +78,7 @@ func runAblationAsync(cfg RunConfig) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	aRep := coverage.Verify(ares.Positions, ares.Radii, reg, 60)
+	aRep := coverage.VerifyWorkers(ares.Positions, ares.Radii, reg, 60, cfg.Workers)
 	rows = append(rows, row{
 		name:    "async (τ=1s, 20 m/s)",
 		rStar:   ares.MaxRadius(),

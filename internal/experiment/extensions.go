@@ -90,8 +90,8 @@ func runExtraMaxCov(cfg RunConfig) (*Output, error) {
 	for i := range fixed {
 		fixed[i] = fixedR
 	}
-	laacadFrac := coverage.Verify(res.Positions, fixed, reg, 80).FracAtLeast(k)
-	randomFrac := coverage.Verify(start, fixed, reg, 80).FracAtLeast(k)
+	laacadFrac := coverage.VerifyWorkers(res.Positions, fixed, reg, 80, cfg.Workers).FracAtLeast(k)
+	randomFrac := coverage.VerifyWorkers(start, fixed, reg, 80, cfg.Workers).FracAtLeast(k)
 	out.Checks = append(out.Checks,
 		check("LAACAD beats random at fixed range", laacadFrac > randomFrac+0.1,
 			"k-covered fraction %.3f vs %.3f at r=0.95·R*", laacadFrac, randomFrac))

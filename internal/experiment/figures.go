@@ -204,7 +204,7 @@ func runFig5(cfg RunConfig) (*Output, error) {
 	csv := [][]string{{"k", "rounds", "converged", "max_r", "min_r", "cluster_ratio"}}
 	for _, k := range ks {
 		res := results[k]
-		rep := coverage.Verify(res.Positions, res.Radii, reg, 80)
+		rep := coverage.VerifyWorkers(res.Positions, res.Radii, reg, 80, cfg.Workers)
 		ratio := clusterRatio(res.Positions, k)
 		fmt.Fprintf(&b, "\nk=%d deployment (rounds=%d, R*=%s, cluster ratio=%.3f):\n",
 			k, res.Rounds, f64(res.MaxRadius()), ratio)
@@ -382,11 +382,4 @@ func runFig6(cfg RunConfig) (*Output, error) {
 	out.Text = b.String()
 	out.CSV["fig6.csv"] = asciiplot.CSV(csv)
 	return out, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

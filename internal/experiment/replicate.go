@@ -46,6 +46,8 @@ func runReplication(cfg RunConfig) (*Output, error) {
 		if err != nil {
 			return err
 		}
+		// Serial verify: this closure already runs trial-parallel under
+		// forTrials, so an inner fan-out would only add scheduler churn.
 		rep := coverage.Verify(res.Positions, res.Radii, reg, 60)
 		reps[s] = replica{rStar: res.MaxRadius(), rounds: res.Rounds, covered: rep.KCovered(k)}
 		return nil

@@ -215,6 +215,7 @@ func runTable1(cfg RunConfig) (*Output, error) {
 		for i := range radii {
 			radii[i] = rStar
 		}
+		// Serial verify: runs trial-parallel under forTrials already.
 		rep := coverage.Verify(res.Positions, radii, reg, 100)
 		return table1Trial{rStar: rStar, overhead: float64(n)/nStar - 1, rep: rep}, nil
 	}
@@ -369,6 +370,7 @@ func runFig8(cfg RunConfig) (*Output, error) {
 		if err != nil {
 			return err
 		}
+		// Serial verify: runs trial-parallel under forTrials already.
 		trials[t] = fig8Trial{res: res, rep: coverage.Verify(res.Positions, res.Radii, sc.reg, 90)}
 		return nil
 	}); err != nil {

@@ -37,6 +37,23 @@ func SquareWithCircularObstacle(c geom.Point, r float64) *Region {
 	return MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), hole)
 }
 
+// Campus returns the 1 km² square dotted with a small campus of convex
+// obstacles — four rectangular buildings and a circular pond — the
+// multi-obstacle stress region for large-scale deployments: plenty of
+// boundary for dominating regions to clip against everywhere in the area,
+// not just around one hole.
+func Campus() *Region {
+	pond := geom.RegularPolygon(geom.Circle{Center: geom.Pt(0.72, 0.74), R: 0.08}, 20, 0)
+	return MustNew(
+		geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}),
+		geom.RectPolygon(geom.BBox{Min: geom.Pt(0.12, 0.15), Max: geom.Pt(0.3, 0.28)}),
+		geom.RectPolygon(geom.BBox{Min: geom.Pt(0.45, 0.1), Max: geom.Pt(0.55, 0.35)}),
+		geom.RectPolygon(geom.BBox{Min: geom.Pt(0.15, 0.55), Max: geom.Pt(0.35, 0.68)}),
+		geom.RectPolygon(geom.BBox{Min: geom.Pt(0.6, 0.45), Max: geom.Pt(0.85, 0.55)}),
+		pond,
+	)
+}
+
 // SquareWithTwoObstacles returns the unit square with two convex obstacles
 // (one circular-ish, one rectangular) — the "Initial deployment II" scenario
 // family of Fig. 8.

@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"laacad/internal/core"
+)
+
+// TestLargeScaleScenarioSmoke drives the square1km (n=10k) and campus
+// scenarios for a few rounds end to end — the fail-fast guard against scale
+// regressions in the spatial layer. Short mode shrinks the node count, not
+// the path: the same registry resolution, placement, engine and invalidation
+// machinery run either way.
+func TestLargeScaleScenarioSmoke(t *testing.T) {
+	rounds := 3
+	for _, name := range []string{"square1km", "campus"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.N < 10000 {
+				t.Fatalf("scenario %q has n=%d; the smoke exists to exercise 10k+", name, sc.N)
+			}
+			if testing.Short() {
+				sc.N = 2000
+			}
+			reg, err := sc.BuildRegion()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lastMoved int
+			res, err := Run(context.Background(), sc,
+				WithMaxRounds(rounds),
+				WithObserver(func(r Runner, st core.RoundStats) error {
+					lastMoved = st.Moved
+					return nil
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rounds != rounds {
+				t.Fatalf("ran %d rounds, want %d", res.Rounds, rounds)
+			}
+			if len(res.Positions) != sc.N || len(res.Radii) != sc.N {
+				t.Fatalf("result shape: %d positions, %d radii, want %d", len(res.Positions), len(res.Radii), sc.N)
+			}
+			for i, p := range res.Positions {
+				if !reg.Contains(p) {
+					t.Fatalf("node %d ended outside the region at %v", i, p)
+				}
+				if res.Radii[i] <= 0 {
+					t.Fatalf("node %d has non-positive sensing radius %v", i, res.Radii[i])
+				}
+			}
+			// Grid placement starts near steady state: after the cold round,
+			// the rounds must be in the few-movers regime, which is what
+			// makes this scale affordable at all.
+			if lastMoved > sc.N/4 {
+				t.Errorf("round %d moved %d of %d nodes; grid placement should start near-converged",
+					rounds, lastMoved, sc.N)
+			}
+		})
+	}
+}

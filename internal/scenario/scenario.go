@@ -13,6 +13,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -226,16 +227,18 @@ func init() {
 		return region.SquareWithCircularObstacle(geom.Pt(0.5, 0.5), 0.15)
 	})
 	RegisterRegion("obstacles2", region.SquareWithTwoObstacles)
+	RegisterRegion("campus", region.Campus)
 
 	// Placements.
 	RegisterPlacement("uniform", region.PlaceUniform)
+	RegisterPlacement("grid", region.PlaceGrid)
 	RegisterPlacement("corner", func(r *region.Region, n int, rng *rand.Rand) []geom.Point {
 		return region.PlaceCorner(r, n, 0.1, rng)
 	})
 	RegisterPlacement("cluster", func(r *region.Region, n int, rng *rand.Rand) []geom.Point {
 		b := r.BBox()
 		center := geom.Pt((b.Min.X+b.Max.X)/2, (b.Min.Y+b.Max.Y)/2)
-		sigma := minF(b.Width(), b.Height()) / 8
+		sigma := min(b.Width(), b.Height()) / 8
 		return region.PlaceGaussianCluster(r, n, center, sigma, rng)
 	})
 
@@ -300,6 +303,33 @@ func init() {
 	})
 	async := sim.DefaultConfig(2)
 	async.Seed = 1
+	// Large-scale scenarios: the production sizes the incremental spatial
+	// layer exists for. Grid placement starts near the steady state, so the
+	// runs spend their rounds in the few-movers regime where per-round cost
+	// tracks what moved; epsilon scales with the lattice pitch √(area/n).
+	large := func(k, n int) core.Config {
+		c := defaultCfg(k)
+		c.Epsilon = 0.1 / math.Sqrt(float64(n)) // pitch/10 on the unit square
+		return c
+	}
+	mustRegister(Scenario{
+		Name:        "square1km",
+		Description: "10k nodes grid-seeded over 1 km², 2-coverage at production scale",
+		Region:      "square", Placement: "grid", N: 10000,
+		Config: large(2, 10000),
+	})
+	mustRegister(Scenario{
+		Name:        "square1km-100k",
+		Description: "100k nodes grid-seeded over 1 km², 2-coverage — the scale ceiling workload",
+		Region:      "square", Placement: "grid", N: 100000,
+		Config: large(2, 100000),
+	})
+	mustRegister(Scenario{
+		Name:        "campus",
+		Description: "10k nodes over the multi-obstacle campus (4 buildings + pond), 2-coverage",
+		Region:      "campus", Placement: "grid", N: 10000,
+		Config: large(2, 10000),
+	})
 	mustRegister(Scenario{
 		Name:        "async",
 		Description: "50 nodes on jittered τ-clocks, event-driven execution",
@@ -307,11 +337,4 @@ func init() {
 		Async:       true,
 		AsyncConfig: async,
 	})
-}
-
-func minF(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }

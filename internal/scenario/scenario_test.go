@@ -11,17 +11,21 @@ import (
 )
 
 func TestRegistriesHaveBuiltins(t *testing.T) {
-	for _, name := range []string{"square", "lshape", "cross", "obstacle1", "obstacles2"} {
+	for _, name := range []string{"square", "lshape", "cross", "obstacle1", "obstacles2", "campus"} {
 		if _, err := LookupRegion(name); err != nil {
 			t.Errorf("region %q missing: %v", name, err)
 		}
 	}
-	for _, name := range []string{"uniform", "corner", "cluster"} {
+	for _, name := range []string{"uniform", "corner", "cluster", "grid"} {
 		if _, err := LookupPlacement(name); err != nil {
 			t.Errorf("placement %q missing: %v", name, err)
 		}
 	}
-	for _, name := range []string{"uniform", "corner", "cluster", "obstacle1", "obstacles2", "lshape", "cross", "localized", "async"} {
+	names := []string{"uniform", "corner", "cluster", "obstacle1", "obstacles2", "lshape", "cross", "localized", "async", "square1km", "campus"}
+	if !testing.Short() {
+		names = append(names, "square1km-100k") // 100k-point placement: skip in -short
+	}
+	for _, name := range names {
 		sc, err := Lookup(name)
 		if err != nil {
 			t.Errorf("scenario %q missing: %v", name, err)

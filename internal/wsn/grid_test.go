@@ -1,0 +1,189 @@
+package wsn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"laacad/internal/geom"
+)
+
+// TestIncrementalGridMatchesRebuildUnderChurn is the contract of the
+// incremental index: under randomized interleaved move/add/remove/query
+// sequences, every query answers identically — including order, which is
+// canonical ascending — to a network freshly rebuilt from scratch over the
+// same positions. Moves occasionally land far outside the grid bounds to
+// exercise the rebuild fallback, and same-position writes exercise the
+// no-op path.
+func TestIncrementalGridMatchesRebuildUnderChurn(t *testing.T) {
+	trials := 25
+	ops := 120
+	if testing.Short() {
+		trials, ops = 8, 50
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < trials; trial++ {
+		gamma := 0.03 + rng.Float64()*0.2
+		live := make([]geom.Point, 20+rng.Intn(80))
+		for i := range live {
+			live[i] = geom.Pt(rng.Float64(), rng.Float64())
+		}
+		inc := New(live, gamma)
+		inc.Rebuild()
+		for op := 0; op < ops; op++ {
+			switch rng.Intn(8) {
+			case 0, 1, 2: // local move
+				i := rng.Intn(len(live))
+				p := geom.Pt(rng.Float64(), rng.Float64())
+				inc.SetPosition(i, p)
+				live[i] = p
+			case 3: // far move: exits the grid bounds, forcing a rebuild
+				i := rng.Intn(len(live))
+				p := geom.Pt(5+rng.Float64(), -3+rng.Float64())
+				inc.SetPosition(i, p)
+				live[i] = p
+			case 4: // no-op write
+				i := rng.Intn(len(live))
+				inc.SetPosition(i, live[i])
+			case 5: // add
+				p := geom.Pt(rng.Float64(), rng.Float64())
+				if id := inc.AddNode(p); id != len(live) {
+					t.Fatalf("trial %d op %d: AddNode returned id %d, want %d", trial, op, id, len(live))
+				}
+				live = append(live, p)
+			case 6: // remove (renumbering)
+				if len(live) > 5 {
+					i := rng.Intn(len(live))
+					inc.RemoveNode(i)
+					live = append(live[:i], live[i+1:]...)
+				}
+			}
+			if inc.Len() != len(live) {
+				t.Fatalf("trial %d op %d: length %d, want %d", trial, op, inc.Len(), len(live))
+			}
+
+			fresh := New(live, gamma)
+			fresh.Rebuild()
+			i := rng.Intn(len(live))
+			rho := rng.Float64() * 1.2
+
+			got := inc.NeighborsWithin(i, rho)
+			want := fresh.NeighborsWithin(i, rho)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d op %d: NeighborsWithin(%d, %v) incremental %v != rebuild %v",
+					trial, op, i, rho, got, want)
+			}
+			gotRing := inc.RingQuery(i, rho, RingGeometric)
+			wantRing := fresh.RingQuery(i, rho, RingGeometric)
+			if !reflect.DeepEqual(gotRing, wantRing) {
+				t.Fatalf("trial %d op %d: RingQuery(%d, %v) incremental %v != rebuild %v",
+					trial, op, i, rho, gotRing, wantRing)
+			}
+			gotHop := inc.HopNeighborhood(i, 2)
+			wantHop := fresh.HopNeighborhood(i, 2)
+			if !reflect.DeepEqual(gotHop, wantHop) {
+				t.Fatalf("trial %d op %d: HopNeighborhood(%d, 2) incremental %v != rebuild %v",
+					trial, op, i, gotHop, wantHop)
+			}
+		}
+	}
+}
+
+// A single in-bounds move must be absorbed incrementally: no full rebuild,
+// and only the two touched cells' versions change.
+func TestIncrementalMoveBumpsOnlyTouchedCells(t *testing.T) {
+	var pos []geom.Point
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 10; y++ {
+			pos = append(pos, geom.Pt(float64(x)*0.1+0.05, float64(y)*0.1+0.05))
+		}
+	}
+	net := New(pos, 0.05)
+	net.Rebuild()
+	if got := net.Rebuilds(); got != 1 {
+		t.Fatalf("after explicit Rebuild: %d rebuilds, want 1", got)
+	}
+	from, to, far := pos[0], geom.Pt(0.52, 0.57), geom.Pt(0.95, 0.95)
+	genA, verFromA := net.CellVersion(from)
+	_, verToA := net.CellVersion(to)
+	_, verFarA := net.CellVersion(far)
+
+	net.SetPosition(0, to)
+
+	genB, verFromB := net.CellVersion(from)
+	_, verToB := net.CellVersion(to)
+	_, verFarB := net.CellVersion(far)
+	if genA != genB {
+		t.Errorf("in-bounds move changed the grid generation: %d -> %d", genA, genB)
+	}
+	if net.Rebuilds() != 1 {
+		t.Errorf("in-bounds move triggered a full rebuild (%d total)", net.Rebuilds())
+	}
+	if net.IncrementalMoves() != 1 {
+		t.Errorf("expected 1 incremental move, got %d", net.IncrementalMoves())
+	}
+	if verFromB != verFromA+1 || verToB != verToA+1 {
+		t.Errorf("touched cell versions: from %d->%d, to %d->%d; want both +1",
+			verFromA, verFromB, verToA, verToB)
+	}
+	if verFarB != verFarA {
+		t.Errorf("untouched cell version changed: %d -> %d", verFarA, verFarB)
+	}
+
+	// A same-position write is a no-op end to end.
+	v := net.Version()
+	net.SetPosition(0, to)
+	if net.Version() != v || net.IncrementalMoves() != 1 {
+		t.Error("same-position write must be a no-op")
+	}
+
+	// A move outside the grid bounds falls back to a full rebuild.
+	net.SetPosition(0, geom.Pt(40, 40))
+	net.NeighborsWithin(0, 0.1) // lazy rebuild happens on the next query
+	if net.Rebuilds() != 2 {
+		t.Errorf("out-of-bounds move should force one rebuild, counter at %d", net.Rebuilds())
+	}
+	if gen, _ := net.CellVersion(to); gen != genA+1 {
+		t.Errorf("rebuild should bump the generation: %d -> %d", genA, gen)
+	}
+}
+
+// Bulk SetPositions remains the full-rebuild path, and node-count changes
+// keep message accounting consistent.
+func TestBulkWriteRebuildsAndCountersSurviveTopologyChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pos := make([]geom.Point, 40)
+	for i := range pos {
+		pos[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	net := New(pos, 0.2)
+	net.Rebuild()
+	base := net.Rebuilds()
+
+	net.SetPositions(pos)
+	net.NeighborsWithin(0, 0.3)
+	if net.Rebuilds() != base+1 {
+		t.Errorf("bulk SetPositions should rebuild once lazily: %d -> %d", base, net.Rebuilds())
+	}
+
+	net.Charge(3, 7)
+	net.Charge(39, 2)
+	net.RemoveNode(3) // renumbers: old node 39 becomes 38
+	if net.Len() != 39 {
+		t.Fatalf("RemoveNode left %d nodes", net.Len())
+	}
+	st := net.Stats()
+	if st.Messages != 9 {
+		t.Errorf("total messages must survive removal, got %d", st.Messages)
+	}
+	if st.ByNode[38] != 2 {
+		t.Errorf("per-node counters must shift with the renumbering, ByNode[38]=%d", st.ByNode[38])
+	}
+	id := net.AddNode(geom.Pt(0.5, 0.5))
+	if id != 39 || net.Len() != 40 {
+		t.Fatalf("AddNode returned id %d with %d nodes", id, net.Len())
+	}
+	if got := net.Stats().ByNode[39]; got != 0 {
+		t.Errorf("fresh node carries %d messages", got)
+	}
+}

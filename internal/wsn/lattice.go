@@ -37,6 +37,34 @@ func SquareLattice(rows, cols int, pitch float64) []geom.Point {
 	return pts
 }
 
+// UnitLattice returns n points on a ⌈√n⌉×⌈√n⌉ cell-centered lattice over
+// the unit square, with `displaced` of them (evenly strided through the
+// node IDs) pulled toward the center by half a pitch, plus the lattice
+// pitch. A lattice is already near its deployment fixed point, so this is
+// the canonical few-movers fixture: only the displaced nodes' neighborhoods
+// move, which is the regime the incremental spatial layer is built for —
+// the scale benchmarks and the engine's cache-counter tests must agree on
+// it, so it lives here rather than in either copy.
+func UnitLattice(n, displaced int) ([]geom.Point, float64) {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	pitch := 1.0 / float64(side)
+	pts := make([]geom.Point, 0, n)
+	for r := 0; r < side && len(pts) < n; r++ {
+		for c := 0; c < side && len(pts) < n; c++ {
+			pts = append(pts, geom.Pt((float64(c)+0.5)*pitch, (float64(r)+0.5)*pitch))
+		}
+	}
+	for i := 0; i < displaced; i++ {
+		j := i * (n / displaced)
+		p := pts[j]
+		pts[j] = geom.Pt(p.X+(0.5-p.X)*pitch, p.Y+(0.5-p.Y)*pitch)
+	}
+	return pts, pitch
+}
+
 // CenterIndex returns the index of the lattice point nearest the centroid of
 // pts — the "central node" of a regular deployment.
 func CenterIndex(pts []geom.Point) int {

@@ -11,6 +11,7 @@ package wsn
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,13 +21,14 @@ import (
 
 // Network is a set of sensor nodes with a common transmission range.
 //
-// Concurrency: position mutation (SetPosition, SetPositions) must not run
-// concurrently with anything else, but the read path is safe for concurrent
-// use — the lazy spatial-grid rebuild is mutex-guarded, and message
-// accounting (Charge) is atomic — so queries such as NeighborsWithin,
-// RingQuery and HopNeighborhood may fan out across goroutines between
-// mutations. Callers doing so should invoke Rebuild first so the grid is
-// built once up front rather than contended on first query.
+// Concurrency: mutation (SetPosition, SetPositions, AddNode, RemoveNode)
+// must not run concurrently with anything else, but the read path is safe
+// for concurrent use — the full-rebuild fallback is mutex-guarded, and
+// message accounting (Charge) is atomic — so queries such as
+// NeighborsWithin, RingQuery and HopNeighborhood may fan out across
+// goroutines between mutations. Callers doing so should invoke Rebuild
+// first so the grid is built once up front rather than contended on first
+// query.
 type Network struct {
 	pos   []geom.Point
 	gamma float64
@@ -36,22 +38,28 @@ type Network struct {
 	msgs   atomic.Int64
 	byNode []atomic.Int64
 
-	// Uniform grid spatial index over node positions, rebuilt lazily after
-	// position updates. Cell side = gamma, so a range-ρ query scans
-	// ⌈ρ/γ+1⌉² cells. dirty is the lock-free fast path: queries only take
-	// mu (which guards the rebuild itself) when the grid is stale, so
-	// concurrent readers of a clean grid never contend on the mutex.
-	mu       sync.Mutex
-	grid     map[gridKey][]int
-	cellSide float64
-	dirty    atomic.Bool
+	// Incremental spatial index over node positions (see gridIndex). A
+	// single-node move updates the two touched cell buckets in place; only
+	// bulk rewrites (SetPositions), node-count changes and moves that leave
+	// the grid bounds mark the index dirty for a full rebuild. dirty is the
+	// lock-free fast path: queries only take mu (which guards the rebuild
+	// itself) when a full rebuild is pending, so concurrent readers of a
+	// live grid never contend on the mutex.
+	mu    sync.Mutex
+	idx   *gridIndex
+	dirty atomic.Bool
+
+	// Observability counters for the index maintenance policy: rebuilds
+	// counts full O(n) reconstructions, incMoves the O(1) bucket updates.
+	// They are maintained on the (single-threaded) mutation path; read them
+	// only between mutations.
+	rebuilds uint64
+	incMoves uint64
 
 	// version counts position mutations (see Version): the round engine's
 	// incremental cache uses it to detect out-of-band position writes.
 	version atomic.Uint64
 }
-
-type gridKey struct{ cx, cy int }
 
 // Stats accumulates communication cost. Messages counts link-level
 // transmissions (each hop of each unicast/broadcast counts once).
@@ -67,10 +75,9 @@ func New(pos []geom.Point, gamma float64) *Network {
 		panic(fmt.Sprintf("wsn: transmission range must be positive, got %v", gamma))
 	}
 	n := &Network{
-		pos:      append([]geom.Point(nil), pos...),
-		gamma:    gamma,
-		cellSide: gamma,
-		byNode:   make([]atomic.Int64, len(pos)),
+		pos:    append([]geom.Point(nil), pos...),
+		gamma:  gamma,
+		byNode: make([]atomic.Int64, len(pos)),
 	}
 	n.dirty.Store(true)
 	return n
@@ -90,14 +97,32 @@ func (n *Network) Positions() []geom.Point {
 	return append([]geom.Point(nil), n.pos...)
 }
 
-// SetPosition moves node i to p. Must not run concurrently with queries.
+// SetPosition moves node i to p, updating the spatial index incrementally:
+// the two touched cell buckets are edited in place, so a steady state where
+// few nodes move costs O(moved), not O(n). A move that leaves the current
+// grid bounds falls back to a full (lazy) rebuild with fresh bounds. Writing
+// a node's current position back is a no-op. Must not run concurrently with
+// queries.
 func (n *Network) SetPosition(i int, p geom.Point) {
+	if p == n.pos[i] {
+		return
+	}
 	n.pos[i] = p
-	n.markDirty()
+	n.version.Add(1)
+	if n.dirty.Load() {
+		return // no live index; the next query rebuilds from scratch
+	}
+	if n.idx.move(i, p) {
+		n.incMoves++
+	} else {
+		n.dirty.Store(true)
+	}
 }
 
-// SetPositions replaces all node positions (same count required). Must not
-// run concurrently with queries.
+// SetPositions replaces all node positions (same count required) and marks
+// the index for a full rebuild — the bulk path. Callers replacing only a few
+// positions should prefer per-node SetPosition, which is incremental. Must
+// not run concurrently with queries.
 func (n *Network) SetPositions(pos []geom.Point) {
 	if len(pos) != len(n.pos) {
 		panic(fmt.Sprintf("wsn: SetPositions with %d positions for %d nodes", len(pos), len(n.pos)))
@@ -106,15 +131,70 @@ func (n *Network) SetPositions(pos []geom.Point) {
 	n.markDirty()
 }
 
+// AddNode appends a node at p and returns its ID. The index is extended in
+// place when p falls inside the current grid bounds; otherwise the next
+// query rebuilds. Must not run concurrently with queries.
+func (n *Network) AddNode(p geom.Point) int {
+	id := len(n.pos)
+	n.pos = append(n.pos, p)
+	n.byNode = resizeCounters(n.byNode, len(n.pos), len(n.pos))
+	n.version.Add(1)
+	if !n.dirty.Load() {
+		if n.idx.add(p) {
+			n.incMoves++
+		} else {
+			n.dirty.Store(true)
+		}
+	}
+	return id
+}
+
+// RemoveNode deletes node i, renumbering every node above it down by one
+// (matching the engine's failure-injection semantics). Renumbering
+// invalidates every bucket, so removal always schedules a full rebuild.
+// Per-node message counters shift with the renumbering; totals are kept.
+// Must not run concurrently with queries.
+func (n *Network) RemoveNode(i int) {
+	if i < 0 || i >= len(n.pos) {
+		panic(fmt.Sprintf("wsn: RemoveNode index %d out of range [0,%d)", i, len(n.pos)))
+	}
+	n.pos = append(n.pos[:i], n.pos[i+1:]...)
+	byNode := make([]atomic.Int64, len(n.pos))
+	for j := range byNode {
+		src := j
+		if j >= i {
+			src = j + 1
+		}
+		byNode[j].Store(n.byNode[src].Load())
+	}
+	n.byNode = byNode
+	n.markDirty()
+}
+
+// resizeCounters returns a fresh counter slice of the given length carrying
+// over the first keep values. atomic.Int64 must not be copied by assignment,
+// so the values are moved Load/Store-wise (mutation is single-threaded).
+func resizeCounters(old []atomic.Int64, length, keep int) []atomic.Int64 {
+	out := make([]atomic.Int64, length)
+	if keep > len(old) {
+		keep = len(old)
+	}
+	for i := 0; i < keep; i++ {
+		out[i].Store(old[i].Load())
+	}
+	return out
+}
+
 func (n *Network) markDirty() {
 	n.dirty.Store(true)
 	n.version.Add(1)
 }
 
 // Version returns a counter incremented by every position mutation
-// (SetPosition, SetPositions). Consumers that cache position-derived state —
-// the round engine's incremental dirty-set — compare versions to detect
-// writes they did not perform themselves and flush accordingly.
+// (SetPosition, SetPositions, AddNode, RemoveNode). Consumers that cache
+// position-derived state — the round engine's incremental dirty-set —
+// compare versions to detect writes they did not perform themselves and
+// flush accordingly.
 func (n *Network) Version() uint64 { return n.version.Load() }
 
 // MessageCount returns the total link-level message count — Stats().Messages
@@ -149,10 +229,12 @@ func (n *Network) Charge(i int, m int64) {
 	n.byNode[i].Add(m)
 }
 
-// Rebuild brings the spatial grid up to date with the current positions.
-// Queries do this lazily on demand; callers about to fan queries across
-// goroutines should call it explicitly so workers start from a clean,
-// immutable index instead of contending on the first query.
+// Rebuild brings the spatial index up to date with the current positions if
+// a full rebuild is pending (bulk write, node-count change, or a move that
+// left the grid bounds). Queries do this lazily on demand; callers about to
+// fan queries across goroutines should call it explicitly so workers start
+// from a clean, immutable index instead of contending on the first query.
+// Incremental updates never require it.
 func (n *Network) Rebuild() { n.rebuild() }
 
 func (n *Network) rebuild() {
@@ -167,34 +249,113 @@ func (n *Network) rebuild() {
 	if !n.dirty.Load() {
 		return
 	}
-	// Pick a cell side that keeps occupancy near one node per cell: for
-	// deployments much wider than γ, γ-sized cells would make range queries
-	// scan huge empty cell windows.
-	n.cellSide = n.gamma
-	if len(n.pos) > 0 {
-		b := geom.BBoxOf(n.pos)
-		span := math.Max(b.Width(), b.Height())
-		if adaptive := span / math.Sqrt(float64(len(n.pos))); adaptive > n.cellSide {
-			n.cellSide = adaptive
-		}
+	var prevGen uint64
+	if n.idx != nil {
+		prevGen = n.idx.gen
 	}
-	n.grid = make(map[gridKey][]int, len(n.pos))
-	for i, p := range n.pos {
-		k := n.keyOf(p)
-		n.grid[k] = append(n.grid[k], i)
-	}
+	n.idx = buildGrid(n.pos, n.gamma, prevGen)
+	n.rebuilds++
 	n.dirty.Store(false)
 }
 
-func (n *Network) keyOf(p geom.Point) gridKey {
-	return gridKey{
-		cx: int(math.Floor(p.X / n.cellSide)),
-		cy: int(math.Floor(p.Y / n.cellSide)),
+// Rebuilds returns how many full index reconstructions have happened — the
+// regression counter for the incremental-maintenance contract: a steady
+// state where nodes move within the grid bounds performs none.
+func (n *Network) Rebuilds() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rebuilds
+}
+
+// IncrementalMoves returns how many O(1) bucket updates the index absorbed
+// without rebuilding.
+func (n *Network) IncrementalMoves() uint64 { return n.incMoves }
+
+// GridShape describes the spatial index's current cell geometry. Gen
+// increments on every full rebuild; cell indices are only comparable within
+// one Gen.
+type GridShape struct {
+	// Side is the cell side length.
+	Side float64
+	// OX, OY are the cell coordinates of linear cell 0.
+	OX, OY int
+	// NX, NY are the grid dimensions; linear index = (cy−OY)·NX + (cx−OX).
+	NX, NY int
+	// Gen is the full-rebuild generation.
+	Gen uint64
+}
+
+// GridShape returns the current index geometry, rebuilding first if a full
+// rebuild is pending.
+func (n *Network) GridShape() GridShape {
+	n.rebuild()
+	g := n.idx
+	return GridShape{Side: g.side, OX: g.ox, OY: g.oy, NX: g.nx, NY: g.ny, Gen: g.gen}
+}
+
+// CellIndex returns the linear index of the grid cell containing p, or -1
+// when p lies outside the grid bounds (every node is always in bounds; an
+// arbitrary query point need not be).
+func (n *Network) CellIndex(p geom.Point) int {
+	n.rebuild()
+	return n.idx.cellIndex(p)
+}
+
+// CellOfNode returns the linear index of the grid cell node i occupies.
+func (n *Network) CellOfNode(i int) int {
+	n.rebuild()
+	return int(n.idx.nodeCell[i])
+}
+
+// CellNodes returns the IDs of the nodes in cell ci, ascending. The slice
+// aliases the index: callers must not modify it or hold it across a
+// mutation.
+func (n *Network) CellNodes(ci int) []int32 {
+	n.rebuild()
+	return n.idx.cells[ci]
+}
+
+// CellDist2 returns a lower bound on the squared distance from p to any
+// position inside cell ci — the pruning primitive for inverse range queries
+// over the grid.
+func (n *Network) CellDist2(ci int, p geom.Point) float64 {
+	n.rebuild()
+	return n.idx.cellDist2(ci, p)
+}
+
+// CellWindowSize returns how many cells ((2r+1)², before bounds clamping) a
+// query window of the given radius spans — the cost estimate consumers use
+// to choose between an inverse grid query and a dense scan.
+func (n *Network) CellWindowSize(dist float64) int {
+	n.rebuild()
+	r := n.idx.windowRadius(dist)
+	return (2*r + 1) * (2*r + 1)
+}
+
+// VisitCellsWithin invokes fn(ci) for every grid cell that could contain a
+// position within dist of p — the walk primitive behind inverse range
+// queries, keeping the cell-window geometry private to the index.
+func (n *Network) VisitCellsWithin(p geom.Point, dist float64, fn func(ci int)) {
+	n.rebuild()
+	n.idx.visitCells(p, dist, fn)
+}
+
+// CellVersion returns the rebuild generation and the mutation version of
+// the grid cell containing p. The version increments whenever a node enters,
+// leaves, or moves within that cell, so a reader caching state derived from
+// one neighborhood can detect staleness without any global dirty flag. A
+// point outside the grid bounds reports version 0.
+func (n *Network) CellVersion(p geom.Point) (gen uint64, ver uint32) {
+	n.rebuild()
+	ci := n.idx.cellIndex(p)
+	if ci < 0 {
+		return n.idx.gen, 0
 	}
+	return n.idx.gen, n.idx.vers[ci]
 }
 
 // NeighborsWithin returns the IDs of all nodes other than i strictly within
-// distance rho of node i (the paper's N(n_i, ρ)).
+// distance rho of node i (the paper's N(n_i, ρ)), in ascending ID order.
 func (n *Network) NeighborsWithin(i int, rho float64) []int {
 	return n.NeighborsWithinBuf(i, rho, nil)
 }
@@ -202,16 +363,19 @@ func (n *Network) NeighborsWithin(i int, rho float64) []int {
 // NeighborsWithinBuf is NeighborsWithin with a caller-supplied result
 // buffer: matches are appended to buf[:0] and the (possibly grown) buffer is
 // returned, so a hot loop that reuses its buffer performs the query without
-// heap allocation. The returned order is identical to NeighborsWithin's.
+// heap allocation. Results are in ascending ID order — the canonical order,
+// independent of how the index was built (full rebuild or incremental
+// updates) and of its cell geometry.
 func (n *Network) NeighborsWithinBuf(i int, rho float64, buf []int) []int {
 	n.rebuild()
 	p := n.pos[i]
 	rho2 := rho * rho
 	out := buf[:0]
-	r := int(math.Ceil(rho/n.cellSide)) + 1
+	g := n.idx
+	r := g.windowRadius(rho)
 	if (2*r+1)*(2*r+1) > len(n.pos) {
 		// The cell window would touch more cells than there are nodes:
-		// a linear scan is cheaper and has no map overhead.
+		// a linear scan is cheaper and has no index overhead.
 		for j, q := range n.pos {
 			if j != i && q.Dist2(p) < rho2 {
 				out = append(out, j)
@@ -219,16 +383,24 @@ func (n *Network) NeighborsWithinBuf(i int, rho float64, buf []int) []int {
 		}
 		return out
 	}
-	base := n.keyOf(p)
-	for dx := -r; dx <= r; dx++ {
-		for dy := -r; dy <= r; dy++ {
-			for _, j := range n.grid[gridKey{base.cx + dx, base.cy + dy}] {
-				if j != i && n.pos[j].Dist2(p) < rho2 {
-					out = append(out, j)
+	// Open-coded visitCells walk: routing the appends through a closure
+	// would heap-allocate the captured result variable, and this is the
+	// zero-alloc hot path. Every node is inside the grid bounds, so
+	// clamping the window loses nothing.
+	cx, cy := g.cellCoords(p)
+	x0, x1 := max(cx-r, g.ox), min(cx+r, g.ox+g.nx-1)
+	y0, y1 := max(cy-r, g.oy), min(cy+r, g.oy+g.ny-1)
+	for y := y0; y <= y1; y++ {
+		row := (y - g.oy) * g.nx
+		for x := x0; x <= x1; x++ {
+			for _, j := range g.cells[row+x-g.ox] {
+				if int(j) != i && n.pos[j].Dist2(p) < rho2 {
+					out = append(out, int(j))
 				}
 			}
 		}
 	}
+	slices.Sort(out) // canonical ascending order (allocation-free for ints)
 	return out
 }
 
@@ -277,7 +449,10 @@ const (
 // RingQuery performs one expanding-ring neighborhood query of radius rho for
 // node i and charges its communication cost: a flood to h = ⌈ρ/γ⌉ hops costs
 // one broadcast per already-reached node, and each discovered node's reply
-// is forwarded back over its hop distance.
+// is forwarded back over its hop distance. Results are in ascending node-ID
+// order in both modes; callers consume them positionally (e.g.
+// RingQueryLossy assigns per-reply loss draws down the list), so the order
+// is part of the determinism contract.
 func (n *Network) RingQuery(i int, rho float64, mode RingQueryMode) []int {
 	hops := int(math.Ceil(rho / n.gamma))
 	if hops < 1 {
@@ -302,10 +477,6 @@ func (n *Network) RingQuery(i int, rho float64, mode RingQueryMode) []int {
 		reach := n.HopNeighborhood(i, hops)
 		cost = 1
 		rho2 := rho * rho
-		// Iterate in node-ID order, not map order: callers consume the
-		// result positionally (e.g. RingQueryLossy assigns per-reply loss
-		// draws down this list), so the order is part of the determinism
-		// contract.
 		ids := make([]int, 0, len(reach))
 		for j := range reach {
 			ids = append(ids, j)

@@ -238,6 +238,13 @@ func VerifyCoverage(positions []Point, radii []float64, reg *Region, resolution 
 	return coverage.Verify(positions, radii, reg, resolution)
 }
 
+// VerifyCoverageWorkers is VerifyCoverage with the sample sweep fanned
+// across worker goroutines (0 = serial, negative = all CPUs); the report is
+// identical for every worker count.
+func VerifyCoverageWorkers(positions []Point, radii []float64, reg *Region, resolution, workers int) CoverageReport {
+	return coverage.VerifyWorkers(positions, radii, reg, resolution, workers)
+}
+
 // Energy model.
 
 // EnergyModel maps a sensing range to an energy cost.
