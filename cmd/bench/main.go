@@ -8,11 +8,15 @@
 //
 //	go run ./cmd/bench                         # run all benchmarks, write BENCH_<today>.json
 //	go run ./cmd/bench -bench 'StepParallel'   # subset
+//	go run ./cmd/bench -mode localized         # one engine mode's suite only
 //	go run ./cmd/bench -label after-kernel     # annotate the snapshot
 //	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/bench -stdin -out out.json
 //
 // The -stdin mode only reduces (no nested `go test` invocation), which is
-// what CI uses so the benchmarks run exactly once.
+// what CI uses so the benchmarks run exactly once. The -mode filter maps an
+// execution order / engine mode (synchronous, sequential, localized) to the
+// -bench pattern of the benchmarks exercising it, so a mode-specific perf
+// iteration re-runs only its own sweep instead of the whole suite.
 //
 // The compare subcommand
 //
@@ -37,6 +41,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -84,6 +89,7 @@ func main() {
 	}
 	var (
 		bench     = flag.String("bench", ".", "benchmark pattern passed to go test -bench")
+		mode      = flag.String("mode", "", "engine-mode sweep: one of "+modeNames()+" (translates to a -bench pattern, overriding -bench)")
 		benchtime = flag.String("benchtime", "3x", "go test -benchtime value (Nx for fixed iterations)")
 		pkg       = flag.String("pkg", ".", "package pattern to benchmark")
 		short     = flag.Bool("short", true, "pass -short to go test (skips the slowest paths)")
@@ -92,6 +98,13 @@ func main() {
 		stdin     = flag.Bool("stdin", false, "reduce go test output from stdin instead of running go test")
 	)
 	flag.Parse()
+	if *mode != "" {
+		pat, err := modePattern(*mode)
+		if err != nil {
+			fatal(err)
+		}
+		*bench = pat
+	}
 
 	var raw io.Reader
 	if *stdin {
@@ -145,6 +158,39 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(snap.Benchmarks), path)
+}
+
+// modeBench maps an engine execution order / mode to the -bench pattern of
+// its benchmark suite, so a mode-specific sweep (`bench -mode localized`)
+// re-runs only the cells that exercise that code path instead of the whole
+// suite. The keys mirror the Mode/UpdateOrder stringers in internal/core.
+var modeBench = map[string]string{
+	// Synchronous Centralized rounds: the parallel lock-step engine plus the
+	// few-movers scale surface.
+	"synchronous": "StepParallel|ScaleStepFewMovers|Fig6Convergence|Table1MinNode2Coverage|Table2LensComparison",
+	// Sequential (Gauss–Seidel) rounds: the graph-colored parallel sweep.
+	"sequential": "SeqStepFewMovers|SeqStepActive",
+	// Localized Algorithm 2: the message-faithful cached rounds plus the
+	// expanding-ring probe.
+	"localized": "ScaleLocalizedFewMovers|Fig2ExpandingRing|AblationLocalizedVsCentralized",
+}
+
+// modePattern resolves a -mode name to its -bench pattern.
+func modePattern(mode string) (string, error) {
+	pat, ok := modeBench[mode]
+	if !ok {
+		return "", fmt.Errorf("unknown -mode %q (have %s)", mode, modeNames())
+	}
+	return pat, nil
+}
+
+func modeNames() string {
+	names := make([]string, 0, len(modeBench))
+	for k := range modeBench {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 // Reduce parses `go test -bench -benchmem` output into a Snapshot (without

@@ -132,3 +132,41 @@ func TestReduceEmpty(t *testing.T) {
 		t.Errorf("expected no benchmarks, got %d", len(snap.Benchmarks))
 	}
 }
+
+func TestModePattern(t *testing.T) {
+	for mode, wantPiece := range map[string]string{
+		"sequential":  "SeqStepFewMovers",
+		"localized":   "ScaleLocalizedFewMovers",
+		"synchronous": "StepParallel",
+	} {
+		pat, err := modePattern(mode)
+		if err != nil {
+			t.Fatalf("modePattern(%q): %v", mode, err)
+		}
+		if !strings.Contains(pat, wantPiece) {
+			t.Errorf("modePattern(%q) = %q, missing %q", mode, pat, wantPiece)
+		}
+	}
+	if _, err := modePattern("bogus"); err == nil {
+		t.Error("unknown mode must error")
+	} else if !strings.Contains(err.Error(), "localized") {
+		t.Errorf("error should list valid modes, got %v", err)
+	}
+}
+
+// Every benchmark name a -mode pattern routes to must exist in the suite, so
+// the filter cannot silently rot as benchmarks are renamed.
+func TestModePatternsMatchSuite(t *testing.T) {
+	data, err := os.ReadFile("../../bench_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := string(data)
+	for mode, pat := range modeBench {
+		for _, piece := range strings.Split(pat, "|") {
+			if !strings.Contains(suite, "func Benchmark"+piece) {
+				t.Errorf("mode %q routes to %q, which is not a benchmark in bench_test.go", mode, piece)
+			}
+		}
+	}
+}

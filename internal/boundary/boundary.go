@@ -30,6 +30,22 @@ type Detector interface {
 	Boundary(net *wsn.Network) []bool
 }
 
+// PerNode is the optional refinement of Detector for detectors whose verdict
+// for node i depends only on positions within the transmission range γ of
+// node i. Implementing it is a locality CONTRACT, not just an API: consumers
+// (the round engine's localized cache) rely on "one-hop ball unchanged ⇒
+// flag unchanged" to skip re-evaluating flags for nodes whose cached
+// neighborhood is provably untouched, and to evaluate flags lazily for the
+// rest. Global detectors (Hull) must not implement it; they are re-evaluated
+// wholesale every round instead.
+type PerNode interface {
+	Detector
+	// BoundaryNode reports whether node i is a boundary node. It must be
+	// safe for concurrent use between network mutations and must read only
+	// positions within γ of node i.
+	BoundaryNode(net *wsn.Network, i int) bool
+}
+
 // AngularGap is a localized boundary detector. A node with fewer than three
 // one-hop neighbors is always a boundary node; otherwise the node sorts the
 // bearings of its neighbors and reports boundary if the largest gap between
@@ -42,15 +58,22 @@ type AngularGap struct {
 
 // Boundary implements Detector.
 func (d AngularGap) Boundary(net *wsn.Network) []bool {
+	out := make([]bool, net.Len())
+	for i := 0; i < net.Len(); i++ {
+		out[i] = d.BoundaryNode(net, i)
+	}
+	return out
+}
+
+// BoundaryNode implements PerNode: the angular-gap test reads only the
+// one-hop neighbors' positions (all within γ of node i), so it satisfies the
+// locality contract.
+func (d AngularGap) BoundaryNode(net *wsn.Network, i int) bool {
 	thr := d.Threshold
 	if thr == 0 {
 		thr = 2 * math.Pi / 3
 	}
-	out := make([]bool, net.Len())
-	for i := 0; i < net.Len(); i++ {
-		out[i] = d.isBoundary(net, i, thr)
-	}
-	return out
+	return d.isBoundary(net, i, thr)
 }
 
 func (d AngularGap) isBoundary(net *wsn.Network, i int, thr float64) bool {

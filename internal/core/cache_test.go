@@ -202,8 +202,10 @@ func TestDirtySetFlushedByPairedTopologyChange(t *testing.T) {
 }
 
 // Out-of-band position writes (direct Network mutation between Steps) must
-// flush the cache: the engine detects them via the network's mutation
-// version, so a stale outcome can never leak into the next round.
+// invalidate every affected entry: the engine detects them via the network's
+// mutation version and localizes the damage with the per-cell version diff
+// (falling back to a wholesale flush), so a stale outcome can never leak
+// into the next round.
 func TestDirtySetFlushesOnExternalPositionWrite(t *testing.T) {
 	reg := region.UnitSquareKm()
 	start := region.PlaceUniform(reg, 40, rand.New(rand.NewSource(13)))
@@ -314,7 +316,10 @@ func TestConvergedStepDoesNoSpatialWork(t *testing.T) {
 	if eng.Network().Rebuilds() != rebuilds || eng.Network().IncrementalMoves() != moves {
 		t.Error("converged steps touched the spatial index")
 	}
-	if eng.CacheCounters() != before {
+	// Converged steps serve every node from the cache (hits accumulate by
+	// design); everything that measures invalidation or index work must
+	// stay flat.
+	if eng.CacheCounters().invalidationCounters() != before.invalidationCounters() {
 		t.Errorf("converged steps did invalidation work: %+v -> %+v", before, eng.CacheCounters())
 	}
 }

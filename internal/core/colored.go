@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+
+	"laacad/internal/parallel"
+)
+
+// Colored Sequential sweeps.
+//
+// A Sequential (Gauss–Seidel) round processes nodes in ascending ID order,
+// each node seeing every earlier node's committed move. That data dependence
+// is real but sparse: node j's computation reads only positions inside its
+// exactness ball, so two nodes whose balls cannot reach each other's writes
+// are independent — the interference structure is a geometric graph, not a
+// chain. The colored sweep exploits that by speculation: at a scan position
+// whose cache entry is invalid, it plans a "color class" — a set of upcoming
+// dirty nodes that are pairwise non-interfering under predicted radii — and
+// computes their outcomes in parallel from the current committed state,
+// installing them as speculative cache entries. The serial commit loop then
+// proceeds unchanged: it consumes an entry only if no committed move endpoint
+// has landed inside the entry's exactness ball since it was computed (the
+// standard invalidation predicate), and recomputes serially otherwise.
+//
+// Correctness therefore never depends on the interference prediction: a
+// mispredicted class member is just a wasted speculation, dropped by the
+// same machinery that drops stale cross-round entries (Localized waste also
+// refunds its recorded message cost, see dropEntry). An entry that survives
+// to its node's turn is bit-identical to what the serial sweep would compute
+// there — every position its search read is unchanged since it ran — so the
+// colored schedule's fixed point, trace and message accounting equal the
+// one-worker sweep's exactly, for any worker count.
+
+const (
+	// waveMinCandidates is the dirty-node count below which planning a wave
+	// is not worth its O(n - from) gather; the serial loop handles stragglers.
+	waveMinCandidates = 8
+	// maxWavesPerRound caps the planning overhead per sweep. Later dirty
+	// nodes (conflict cascades past the budget) fall back to serial
+	// recomputation at their turn.
+	maxWavesPerRound = 8
+	// waveCapInit seeds the per-round class-size budget. The first wave of a
+	// round is a probe: if its speculations survive (the converging tail),
+	// the budget quadruples per wave and the sweep reaches full width within
+	// the wave cap; if they mostly die (the active phase, where nearly every
+	// commit invalidates downstream), the cutoff below stops speculating
+	// having wasted at most about this much work.
+	waveCapInit = 64
+)
+
+// Disturber marks for planWave's interference test. Only a committed move
+// can invalidate an entry, so only predicted movers disturb: a dirty node
+// whose last outcome stood still is predicted to stand still again and
+// blocks nobody (if it moves after all, the validation machinery catches
+// every affected speculation — prediction errors cost work, never
+// correctness).
+const (
+	waveNone       uint8 = iota
+	waveDirtyMover       // invalid entry whose stale outcome moved: reach ≈ last move distance
+	waveMover            // valid entry with a pending move: endpoints known exactly
+)
+
+// speculate plans and executes one speculation wave starting at scan
+// position from (whose entry is invalid — the scan node itself is always in
+// the class, so the wave always makes progress). Runs only inside a
+// Sequential sweep with the cache enabled and workers > 1.
+func (e *Engine) speculate(from, round int, isBoundary []bool, workers int) {
+	if e.wavesThisRound >= maxWavesPerRound || e.dudWaves >= 2 {
+		return
+	}
+	// Adaptive budget: when this round's committed moves have already killed
+	// more than half of what the waves computed (the active phase, where
+	// nearly everything moves and Gauss–Seidel is genuinely serial), further
+	// speculation is mostly wasted work — stop for the rest of the sweep.
+	// While speculations survive, the class-size budget escalates instead,
+	// so surviving rounds reach full width. The counters are maintained on
+	// the serial path, so either decision is a pure function of the
+	// trajectory and the schedule stays deterministic.
+	computed := e.counters.SpecComputed - e.waveBaseComputed
+	wasted := e.counters.SpecWasted - e.waveBaseWasted
+	if computed > 0 {
+		if wasted*2 > computed {
+			return
+		}
+		if wasted*4 <= computed {
+			e.waveCap *= 4
+		}
+	}
+	n := len(e.cache)
+	cands := e.waveCands[:0]
+	for j := from; j < n; j++ {
+		if !e.cache[j].valid {
+			cands = append(cands, j)
+		}
+	}
+	e.waveCands = cands
+	if len(cands) < waveMinCandidates {
+		// Too few dirty nodes to be worth a wave — and likely to stay that
+		// way: candidates only shrink as the scan advances, except for the
+		// occasional mid-sweep cascade. Latch it like a dud so a straggler
+		// tail doesn't pay this O(n - from) gather at every dirty turn.
+		e.dudWaves++
+		return
+	}
+	e.wavesThisRound++
+	e.counters.Waves++
+	selected := e.planWave(from, cands, workers)
+	if len(selected) < 2 {
+		// Only the scan node itself survived selection: the interference
+		// structure is dense here (everything is a predicted mover), so
+		// planning is all cost and no class. Two duds end speculation for
+		// the round — the sweep is genuinely serial in this regime.
+		e.dudWaves++
+		return
+	}
+	if len(selected) > e.waveCap {
+		// A prefix of an independent set is independent, and the scan node
+		// is its first element, so truncation keeps both invariants.
+		selected = selected[:e.waveCap]
+	}
+	e.net.Rebuild() // fan-out reads the index concurrently; build it once
+	parallel.ForWorker(len(selected), workers, func(w, idx int) {
+		e.computeEntry(selected[idx], round, isBoundary, e.pool[w], true)
+	})
+	e.counters.SpecComputed += uint64(len(selected))
+	if e.seqBoundsLive {
+		// The live per-cell ρ-bounds must upper-bound every valid entry or
+		// later inverse invalidation queries could miss a speculative one.
+		for _, j := range selected {
+			if c := &e.cache[j]; c.valid {
+				e.noteRhoBound(j, c.rho)
+			}
+		}
+	}
+}
+
+// planWave selects the wave's color class: the ascending-ID greedy
+// independent set of the predicted interference relation over the dirty
+// candidates. Candidate j joins unless some predicted mover with a smaller
+// ID (at or after the scan position — everything earlier already committed)
+// could land a move endpoint inside j's predicted exactness ball before j's
+// turn:
+//
+//   - a cached mover k < j whose pending move endpoints are known exactly:
+//     interferes when either endpoint lies within j's hint ball;
+//   - a dirty node k < j whose stale outcome moved: its recomputation is
+//     predicted to move about as far again, so it interferes when u_k is
+//     within j's hint ball inflated by that distance.
+//
+// Dirty nodes whose stale outcome stood still are predicted to stand still
+// and block nobody — in the converging tail most of the dirty set is nodes
+// invalidated by a neighbor's move that will recompute to the same fixed
+// point, and they must be allowed to share a class or every cluster would
+// serialize. Hints are the nodes' last known exactness radii (rhoHint);
+// nodes never computed yet fall back to the search's initial radius. The
+// selection is a pure function of (positions, cache state, hints), so the
+// class — and with it the whole schedule — is deterministic for every
+// worker count; the membership test for each candidate is independent of
+// the others, so the scan fans out.
+func (e *Engine) planWave(from int, cands []int, workers int) []int {
+	n := len(e.cache)
+	if cap(e.waveMark) < n {
+		e.waveMark = make([]uint8, n)
+	}
+	mark := e.waveMark[:n]
+	fallback := e.hintFallback()
+	maxReach, maxHint := 0.0, 0.0
+	for j := from; j < n; j++ {
+		c := &e.cache[j]
+		if !c.valid {
+			if h := e.hintOf(j, fallback); h > maxHint {
+				maxHint = h
+			}
+		}
+		if c.out.moved {
+			if c.valid {
+				mark[j] = waveMover
+			} else {
+				mark[j] = waveDirtyMover
+			}
+			if c.out.moveDist > maxReach {
+				maxReach = c.out.moveDist
+			}
+		} else {
+			mark[j] = waveNone
+		}
+	}
+	// Density guard: each candidate's membership test scans a grid window of
+	// radius hint+maxReach. When that window covers a constant fraction of
+	// the network (mover-heavy rounds with large stale moves), selection
+	// costs approach O(candidates × n) — worse than just computing serially.
+	// Estimated occupancy-scaled scan size per query, vs the network:
+	shape := e.net.GridShape()
+	if ncells := shape.NX * shape.NY; ncells > 0 {
+		scanned := e.net.CellWindowSize(maxHint+maxReach) * n / ncells
+		if scanned*4 >= n {
+			for j := from; j < n; j++ {
+				mark[j] = waveNone
+			}
+			return nil
+		}
+	}
+	if cap(e.waveKeep) < len(cands) {
+		e.waveKeep = make([]bool, len(cands))
+	}
+	keep := e.waveKeep[:len(cands)]
+	e.net.Rebuild()
+	parallel.ForWorker(len(cands), workers, func(w, idx int) {
+		j := cands[idx]
+		hintJ := e.hintOf(j, fallback)
+		s := e.pool[w]
+		s.nbrs = e.net.NeighborsWithinBuf(j, hintJ+maxReach, s.nbrs)
+		ok := true
+		for _, k := range s.nbrs {
+			if k >= from && k < j && e.interferes(k, j, hintJ, fallback) {
+				ok = false
+				break
+			}
+		}
+		keep[idx] = ok
+	})
+	sel := e.waveSel[:0]
+	for idx, j := range cands {
+		if keep[idx] {
+			sel = append(sel, j)
+		}
+	}
+	if e.waveHook != nil {
+		// Observe the class while the disturber marks are still live, so a
+		// test can re-evaluate the interference predicate over its members.
+		e.waveHook(sel)
+	}
+	// Reset the marks we set; the next wave re-marks its own window.
+	for j := from; j < n; j++ {
+		mark[j] = waveNone
+	}
+	e.waveSel = sel
+	return sel
+}
+
+// interferes is planWave's pairwise interference predicate: can disturber
+// k's activity this sweep plausibly land inside candidate j's predicted
+// exactness ball? Mispredictions in either direction are safe — a false
+// positive only shrinks the class, a false negative only wastes the
+// speculation — so the test can use hints instead of true radii.
+func (e *Engine) interferes(k, j int, hintJ, fallback float64) bool {
+	uj := e.net.Position(j)
+	switch e.waveMark[k] {
+	case waveDirtyMover:
+		reach := hintJ + e.cache[k].out.moveDist
+		return e.net.Position(k).Dist2(uj) <= reach*reach
+	case waveMover:
+		c := &e.cache[k]
+		return e.net.Position(k).Dist2(uj) <= hintJ*hintJ ||
+			c.out.next.Dist2(uj) <= hintJ*hintJ
+	}
+	return false
+}
+
+// hintOf returns node j's predicted exactness radius.
+func (e *Engine) hintOf(j int, fallback float64) float64 {
+	if h := e.rhoHint[j]; h > 0 {
+		return h
+	}
+	return fallback
+}
+
+// hintFallback is the predicted radius for nodes that have never been
+// computed: the expanding search's own initial radius (Centralized) or the
+// first ring (Localized).
+func (e *Engine) hintFallback() float64 {
+	if e.cfg.Mode == Localized {
+		return e.cfg.Gamma
+	}
+	n := e.net.Len()
+	if n == 0 {
+		return 0
+	}
+	return e.reg.BBox().Diagonal() / math.Sqrt(float64(n)) * math.Sqrt(float64(4*e.cfg.K+4))
+}

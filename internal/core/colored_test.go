@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"laacad/internal/geom"
+	"laacad/internal/region"
+	"laacad/internal/wsn"
+)
+
+// The colored-sweep contract: a Sequential round executed with speculation
+// waves is bit-identical — same per-round trace, same fixed point, same
+// radii — to the one-worker Gauss–Seidel sweep, for every worker count.
+// This is the equivalence half of the tentpole's acceptance criteria; the
+// wave-independence property test below pins the scheduling invariant.
+func TestColoredSequentialMatchesSerial(t *testing.T) {
+	reg := region.UnitSquareKm()
+	seeds := []int64{1, 2, 3}
+	sizes := []int{40, 150}
+	ks := []int{1, 2, 3}
+	if testing.Short() {
+		seeds, sizes, ks = []int64{1}, []int{40}, []int{2}
+	}
+	workerCounts := []int{2, 4, 8}
+	for _, seed := range seeds {
+		for _, n := range sizes {
+			for _, k := range ks {
+				seed, n, k := seed, n, k
+				t.Run(fmt.Sprintf("seed=%d/n=%d/k=%d", seed, n, k), func(t *testing.T) {
+					t.Parallel()
+					rng := rand.New(rand.NewSource(seed))
+					start := region.PlaceUniform(reg, n, rng)
+					cfg := DefaultConfig(k)
+					cfg.Order = Sequential
+					cfg.Epsilon = 1e-3
+					cfg.MaxRounds = 40 // active phase and converged tail
+					cfg.Seed = seed
+					trace1, res1 := runWorkers(t, reg, start, cfg, 1)
+					for _, w := range workerCounts {
+						traceW, resW := runWorkers(t, reg, start, cfg, w)
+						assertIdentical(t, fmt.Sprintf("workers=%d", w), trace1, traceW, res1, resW)
+					}
+				})
+			}
+		}
+	}
+}
+
+// The same contract at production scale: a 1k uniform deployment and a 10k
+// few-movers lattice, swept with every worker count of the acceptance
+// matrix. Gated behind -short because the serial reference pass at 10k is
+// the expensive part.
+func TestColoredSequentialMatchesSerialLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large colored-sweep matrix skipped in -short")
+	}
+	reg := region.UnitSquareKm()
+	cases := []struct {
+		name   string
+		start  []geom.Point
+		eps    float64
+		rounds int
+	}{}
+	start1k := region.PlaceUniform(reg, 1000, rand.New(rand.NewSource(17)))
+	cases = append(cases, struct {
+		name   string
+		start  []geom.Point
+		eps    float64
+		rounds int
+	}{"n=1000/uniform", start1k, 1e-3, 8})
+	start10k, pitch := wsn.UnitLattice(10000, 64)
+	cases = append(cases, struct {
+		name   string
+		start  []geom.Point
+		eps    float64
+		rounds int
+	}{"n=10000/lattice", start10k, pitch / 50, 5})
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(2)
+			cfg.Order = Sequential
+			cfg.Epsilon = tc.eps
+			cfg.MaxRounds = tc.rounds
+			cfg.Seed = 17
+			trace1, res1 := runWorkers(t, reg, tc.start, cfg, 1)
+			for _, w := range []int{2, 4, 8} {
+				traceW, resW := runWorkers(t, reg, tc.start, cfg, w)
+				assertIdentical(t, fmt.Sprintf("workers=%d", w), trace1, traceW, res1, resW)
+			}
+		})
+	}
+}
+
+// The scheduling invariant behind the colored sweep: no two members of one
+// color class interfere under the predicted radii — otherwise one member's
+// commit could invalidate another member mid-class. The hook observes every
+// planned class while the disturber marks are live, so the test re-evaluates
+// the planner's own predicate over all pairs.
+func TestWaveClassPairwiseIndependent(t *testing.T) {
+	reg := region.UnitSquareKm()
+	start, pitch := wsn.UnitLattice(900, 12)
+	cfg := DefaultConfig(2)
+	cfg.Order = Sequential
+	cfg.Epsilon = pitch / 50 // few-movers regime: waves engage every round
+	cfg.MaxRounds = 8
+	cfg.Seed = 31
+	cfg.Workers = 4
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := 0
+	eng.waveHook = func(sel []int) {
+		classes++
+		fb := eng.hintFallback()
+		for x := 0; x < len(sel); x++ {
+			for y := x + 1; y < len(sel); y++ {
+				a, b := sel[x], sel[y]
+				if eng.interferes(a, b, eng.hintOf(b, fb), fb) {
+					t.Errorf("class %d: members %d and %d interfere", classes, a, b)
+				}
+			}
+		}
+	}
+	for r := 0; r < cfg.MaxRounds; r++ {
+		if _, done := eng.Step(); done {
+			break
+		}
+	}
+	if classes == 0 {
+		t.Fatal("no speculation waves were planned; the colored sweep never engaged")
+	}
+}
+
+// The perf mechanism must actually engage and pay off: in the few-movers
+// regime the waves precompute the dirty set and the serial loop consumes
+// almost all of it; every speculated entry is either consumed or refunded
+// (the accounting identity the Localized message faithfulness rests on).
+func TestSequentialSpeculationEngages(t *testing.T) {
+	n := 2500
+	start, pitch := wsn.UnitLattice(n, 16)
+	reg := region.UnitSquareKm()
+	cfg := DefaultConfig(2)
+	cfg.Order = Sequential
+	cfg.Epsilon = pitch / 50
+	cfg.Seed = 1
+	cfg.Workers = 4
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		eng.Step()
+	}
+	c := eng.CacheCounters()
+	if c.Waves == 0 || c.SpecComputed == 0 {
+		t.Fatalf("speculation never engaged: %+v", c)
+	}
+	if c.SpecUsed+c.SpecWasted != c.SpecComputed {
+		t.Errorf("speculation accounting leaks: computed=%d used=%d wasted=%d",
+			c.SpecComputed, c.SpecUsed, c.SpecWasted)
+	}
+	if c.SpecUsed*2 < c.SpecComputed {
+		t.Errorf("speculation mostly wasted: used %d of %d", c.SpecUsed, c.SpecComputed)
+	}
+}
+
+// Workers on a Sequential engine must not leak into results — the colored
+// sweep is pure speedup. (Kept from the pre-colored engine, where Sequential
+// ignored Workers outright; the invariant is the same, the mechanism is now
+// speculation + validation instead of ignoring the knob.)
+func TestSequentialMessageAccountingUnderWaves(t *testing.T) {
+	// Localized + Sequential + waves is the hardest cell: speculative ring
+	// searches charge eagerly and refund on invalidation, so Messages must
+	// come out exactly equal to the serial sweep's, per round and in total.
+	reg := region.UnitSquareKm()
+	start := region.PlaceUniform(reg, 80, rand.New(rand.NewSource(41)))
+	cfg := DefaultConfig(2)
+	cfg.Order = Sequential
+	cfg.Mode = Localized
+	cfg.Gamma = 0.25
+	cfg.Epsilon = 1e-3
+	cfg.MaxRounds = 12
+	cfg.Seed = 41
+	trace1, res1 := runWorkers(t, reg, start, cfg, 1)
+	for _, w := range []int{2, 4, 8} {
+		traceW, resW := runWorkers(t, reg, start, cfg, w)
+		assertIdentical(t, fmt.Sprintf("workers=%d", w), trace1, traceW, res1, resW)
+		if res1.Messages != resW.Messages {
+			t.Errorf("workers=%d: message totals differ: %d vs %d", w, res1.Messages, resW.Messages)
+		}
+	}
+}

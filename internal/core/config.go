@@ -126,25 +126,30 @@ type Config struct {
 	// deterministic Welzl that needs no seed).
 	Seed int64
 	// Workers is the number of goroutines fanning the per-node dominating-
-	// region computation of each Synchronous round (and of Finalize /
-	// DebugRegions) across CPUs. 0 or 1 runs serially; negative means
-	// runtime.NumCPU. Results are bit-identical for every worker count:
-	// each node's randomness is an independent stream derived from
-	// (Seed, round, node ID), never a shared sequential source, so
-	// scheduling order cannot leak into the output. Sequential order is
-	// inherently serial and ignores this knob.
+	// region computation of each round (and of Finalize / DebugRegions)
+	// across CPUs. 0 or 1 runs serially; negative means runtime.NumCPU.
+	// Results are bit-identical for every worker count: each node's
+	// randomness is an independent stream derived from (Seed, round,
+	// node ID), never a shared sequential source, so scheduling order
+	// cannot leak into the output. Synchronous rounds fan out directly;
+	// Sequential (Gauss–Seidel) rounds parallelize via the colored sweep —
+	// speculation waves over provably independent nodes, validated by the
+	// cache's invalidation machinery — so they too match the one-worker
+	// sweep bit for bit (with the cache disabled the sweep stays serial).
 	Workers int
 	// KeepRegions retains every node's final dominating region in the
 	// Result (costs memory; useful for rendering and debugging).
 	KeepRegions bool
-	// DisableCache turns off the incremental dirty-set (Centralized mode):
-	// every round recomputes every node instead of reusing outcomes whose
-	// exactness neighborhood is unchanged. The cache is semantically
-	// invisible — trajectories, traces and results are bit-identical either
-	// way (asserted by the equivalence suite) — so this knob exists for
-	// benchmarking the eager engine and as a belt-and-braces escape hatch.
-	// Localized mode never caches: its message accounting requires the
-	// expanding-ring searches to actually run.
+	// DisableCache turns off the incremental dirty-set: every round
+	// recomputes every node instead of reusing outcomes whose exactness
+	// neighborhood is unchanged. The cache is semantically invisible —
+	// trajectories, traces, results AND message accounting are bit-identical
+	// either way (asserted by the equivalence suites) — so this knob exists
+	// for benchmarking the eager engine and as a belt-and-braces escape
+	// hatch. Localized entries record their search's link-level message
+	// cost and every reuse re-charges it, keeping Result.Messages exactly
+	// faithful to the protocol; under message loss (LossRate > 0) Localized
+	// rounds never cache, since loss draws are per-round randomness.
 	DisableCache bool
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"laacad/internal/boundary"
 	"laacad/internal/geom"
@@ -115,17 +116,63 @@ type Engine struct {
 	nextBuf  []geom.Point
 	movedBuf []movedNode
 
-	// cache is the incremental dirty-set (Centralized mode): each entry
-	// holds a node's last computed outcome together with the exactness
-	// radius ρ of the expanding search that produced it. The outcome is a
-	// pure function of the positions inside the ρ-ball around the node
-	// (see centralizedRegionScratch), so it is reused verbatim until some
-	// position inside that ball changes — which collapses the long
-	// converged tail of a deployment to near-zero work per round.
-	// cacheVer mirrors net.Version() so out-of-band position writes
-	// (anything other than the engine's own moves) flush the cache.
+	// cache is the incremental dirty-set: each entry holds a node's last
+	// computed outcome together with the exactness radius ρ of the search
+	// that produced it. The outcome is a pure function of the positions
+	// inside the ρ-ball around the node (see centralizedRegionScratch and
+	// localizedRegionOf), so it is reused verbatim until some position
+	// inside that ball changes — which collapses the long converged tail of
+	// a deployment to near-zero work per round. In Localized mode each entry
+	// additionally records the search's link-level message cost; a reuse
+	// re-charges that cost so the per-round accounting stays exactly what
+	// the eager protocol would have paid. cacheVer mirrors net.Version() so
+	// out-of-band position writes (anything other than the engine's own
+	// moves) invalidate — locally via the per-cell version diff when
+	// possible, wholesale otherwise.
 	cache    []nodeCache
 	cacheVer uint64
+	// rhoHint is each node's last known exactness radius, kept across
+	// invalidations — the interference-prediction input of the colored
+	// Sequential sweep (a stale hint only costs a wasted speculation, never
+	// correctness; see planWave).
+	rhoHint []float64
+	// hits counts cache reuses; atomic because the Synchronous fan-out
+	// consults the cache from worker goroutines.
+	hits atomic.Uint64
+
+	// Colored-sweep (Sequential order) state: reusable planning buffers, the
+	// per-round wave budget, and the lazily sized per-node disturber marks.
+	// waveHook, when set (tests), observes each executed wave's color class.
+	wavesThisRound   int
+	dudWaves         int
+	waveCap          int
+	waveBaseComputed uint64
+	waveBaseWasted   uint64
+	waveCands        []int
+	waveSel          []int
+	waveMark         []uint8
+	waveKeep         []bool
+	waveHook         func(selected []int)
+
+	// perNode is the detector downcast to its per-node-local refinement, if
+	// it has one; lazyDet marks rounds that evaluate boundary flags lazily
+	// (cached Localized rounds with a PerNode detector — flags are then only
+	// computed for nodes being recomputed, since "ball unchanged ⇒ flag
+	// unchanged" holds by the PerNode locality contract).
+	perNode boundary.PerNode
+	lazyDet bool
+
+	// Out-of-band write localization: a snapshot of the grid's per-cell
+	// mutation versions from the last time the cache was known in sync.
+	// When an external position write bumps net.Version between rounds, the
+	// engine diffs the live cell versions against this snapshot and
+	// invalidates only entries whose ρ-ball can touch a changed cell,
+	// instead of flushing wholesale (localFlush). The snapshot is patched
+	// with the engine's own move cells after every round and recopied after
+	// any full grid rebuild (its cell numbering belongs to one generation).
+	cellSnap    []uint32
+	cellSnapGen uint64
+	cellSnapOK  bool
 
 	// Grid-accelerated invalidation state. rhoBound[c] upper-bounds the
 	// exactness radius ρ of the valid cache entries whose nodes currently
@@ -161,17 +208,49 @@ type CacheCounters struct {
 	PairVisits uint64
 	// BoundRebuilds counts recomputations of the per-cell ρ-bound array.
 	BoundRebuilds uint64
+	// CacheHits counts outcomes served from the dirty-set cache (all modes).
+	CacheHits uint64
+	// Waves, SpecComputed, SpecUsed and SpecWasted describe the colored
+	// Sequential sweep: parallel speculation waves planned, entries computed
+	// by them, entries consumed at their node's turn, and entries that a
+	// committed move invalidated before use (wasted work; Localized wasted
+	// speculations also refund their recorded message cost, keeping the
+	// accounting exact).
+	Waves, SpecComputed, SpecUsed, SpecWasted uint64
+	// LocalFlushes counts out-of-band position writes absorbed by the
+	// per-cell version diff instead of a wholesale cache flush.
+	LocalFlushes uint64
 }
 
 // CacheCounters returns the cumulative invalidation-work counters.
-func (e *Engine) CacheCounters() CacheCounters { return e.counters }
+func (e *Engine) CacheCounters() CacheCounters {
+	c := e.counters
+	c.CacheHits = e.hits.Load()
+	return c
+}
+
+// invalidationCounters returns only the counters that measure invalidation
+// and index work — the subset that must stay flat across converged rounds
+// (cache hits, by contrast, accumulate precisely then).
+func (c CacheCounters) invalidationCounters() CacheCounters {
+	c.CacheHits = 0
+	c.SpecUsed = 0
+	return c
+}
 
 // nodeCache is one node's cached round outcome plus the exactness radius
-// that bounds which position changes can invalidate it.
+// that bounds which position changes can invalidate it. Localized entries
+// carry the recorded message cost of the search that produced the outcome
+// (re-charged on every reuse) and the boundary flag it was computed under;
+// spec marks an entry written by a speculation wave this round, whose cost
+// is already charged and must be refunded if the entry dies before use.
 type nodeCache struct {
-	valid bool
-	rho   float64
-	out   nodeOutcome
+	valid    bool
+	spec     bool
+	boundary bool
+	rho      float64
+	cost     int64
+	out      nodeOutcome
 }
 
 // movedNode records one move for application and cache invalidation: the ID
@@ -219,10 +298,16 @@ func New(reg *region.Region, initial []geom.Point, cfg Config) (*Engine, error) 
 	if det == nil {
 		det = boundary.AngularGap{}
 	}
+	net := wsn.New(pos, gamma)
+	// The engine clamps every position into reg, so the region's bounding
+	// box bounds the deployment for its whole lifetime: seeding the spatial
+	// index with it means expansion-phase moves (a corner pile spreading
+	// out) never exit the grid bounds and never force a rebuild.
+	net.SetBoundsHint(reg.BBox())
 	return &Engine{
 		cfg:      cfg,
 		reg:      reg,
-		net:      wsn.New(pos, gamma),
+		net:      net,
 		detector: det,
 	}, nil
 }
@@ -288,15 +373,16 @@ func (e *Engine) stepNodeCentralized(i int, s *Scratch) (nodeOutcome, float64) {
 
 // stepNodeLocalized computes node i's outcome with Algorithm 2. rng is the
 // node's private stream for this round (see nodeRNG); it drives message-loss
-// sampling. The geometry kernel still runs on s, but outcomes are never
-// cached: the expanding-ring search charges real messages, and skipping it
-// would falsify the per-round message accounting that is part of Localized
-// mode's contract.
-func (e *Engine) stepNodeLocalized(i int, isBoundary bool, rng *rand.Rand, s *Scratch) nodeOutcome {
+// sampling. The second return value is the search's invalidation radius
+// (see localizedRegionOf) — with loss sampling off, the outcome and its
+// exact message cost are a pure function of the positions inside that ball
+// plus the boundary flag, which is what makes Localized outcomes cacheable
+// without falsifying the accounting.
+func (e *Engine) stepNodeLocalized(i int, isBoundary bool, rng *rand.Rand, s *Scratch) (nodeOutcome, float64) {
 	ui := e.net.Position(i)
-	polys := e.localizedRegionOf(i, isBoundary, rng, s)
+	polys, inv := e.localizedRegionOf(i, isBoundary, rng, s)
 	if len(polys) == 0 {
-		return nodeOutcome{next: ui, empty: true}
+		return nodeOutcome{next: ui, empty: true}, inv
 	}
 	ci, ri := ChebyshevOfRegion(polys, s)
 	out := nodeOutcome{
@@ -306,7 +392,7 @@ func (e *Engine) stepNodeLocalized(i int, isBoundary bool, rng *rand.Rand, s *Sc
 		rhat:  voronoi.MaxDistFrom(ui, polys),
 	}
 	e.finishMove(ui, ci, &out)
-	return out
+	return out, inv
 }
 
 // finishMove applies the motion rule (step α toward the clamped Chebyshev
@@ -326,28 +412,101 @@ func (e *Engine) finishMove(ui, ci geom.Point, out *nodeOutcome) {
 // dirty-set cache first when it is enabled. Cache entries are written only
 // by the worker that owns node i this round, so the fan-out needs no
 // locking.
+//
+// A Localized hit re-charges the entry's recorded message cost — reusing the
+// outcome must cost exactly what re-running the search would have, or
+// Result.Messages stops being faithful to the protocol. The exception is an
+// entry speculated earlier this same round (spec): its search already ran
+// and charged, so consuming it charges nothing more. A Localized hit also
+// requires the boundary flag the entry was computed under to still hold;
+// with a lazy (PerNode) detector that check is free — ball unchanged implies
+// flag unchanged by the locality contract — while global detectors compare
+// against the freshly computed flag array.
 func (e *Engine) stepNodeAny(i, round int, isBoundary []bool, s *Scratch, cacheOn bool) nodeOutcome {
 	if e.cfg.Mode == Localized {
+		if cacheOn {
+			if c := &e.cache[i]; c.valid && (e.lazyDet || c.boundary == isBoundary[i]) {
+				e.hits.Add(1)
+				if c.spec {
+					c.spec = false
+					e.counters.SpecUsed++
+				} else if c.cost != 0 {
+					e.net.Charge(i, c.cost)
+				}
+				return c.out
+			}
+			return e.computeEntry(i, round, isBoundary, s, false)
+		}
 		b := isBoundary != nil && isBoundary[i]
-		return e.stepNodeLocalized(i, b, nodeRNG(e.cfg.Seed, round, i), s)
+		out, _ := e.stepNodeLocalized(i, b, e.lossRNG(round, i), s)
+		return out
 	}
 	if cacheOn {
 		if c := &e.cache[i]; c.valid {
+			e.hits.Add(1)
+			if c.spec {
+				c.spec = false
+				e.counters.SpecUsed++
+			}
 			return c.out
 		}
-		out, rho := e.stepNodeCentralized(i, s)
-		e.cache[i] = nodeCache{valid: true, rho: rho, out: out}
-		return out
+		return e.computeEntry(i, round, isBoundary, s, false)
 	}
 	out, _ := e.stepNodeCentralized(i, s)
 	return out
 }
 
-// cacheEnabled reports whether the dirty-set cache applies: Centralized
-// mode only (Localized message accounting forbids skipping work) and not
-// explicitly disabled.
+// computeEntry computes node i's outcome from the current positions and
+// installs it as a cache entry (speculative when spec is set — the colored
+// sweep's waves write through here from worker goroutines; entry i is only
+// ever written by the worker owning i, so no locking). Localized entries
+// measure the search's link-level cost by diffing the node's own message
+// counter around the computation — every charge of an expanding-ring search
+// is attributed to the searching node, so the diff is exact even while other
+// workers charge their own searches concurrently.
+func (e *Engine) computeEntry(i, round int, isBoundary []bool, s *Scratch, spec bool) nodeOutcome {
+	if e.cfg.Mode == Localized {
+		b := e.boundaryFlag(i, isBoundary)
+		before := e.net.NodeMessages(i)
+		out, inv := e.stepNodeLocalized(i, b, e.lossRNG(round, i), s)
+		cost := e.net.NodeMessages(i) - before
+		e.cache[i] = nodeCache{valid: true, spec: spec, boundary: b, rho: inv, cost: cost, out: out}
+		e.rhoHint[i] = inv
+		return out
+	}
+	out, rho := e.stepNodeCentralized(i, s)
+	e.cache[i] = nodeCache{valid: true, spec: spec, rho: rho, out: out}
+	e.rhoHint[i] = rho
+	return out
+}
+
+// boundaryFlag returns node i's boundary flag for this round: from the
+// precomputed array when one exists, lazily from the per-node detector
+// otherwise (cached Localized rounds compute flags only for recomputed
+// nodes).
+func (e *Engine) boundaryFlag(i int, isBoundary []bool) bool {
+	if isBoundary != nil {
+		return isBoundary[i]
+	}
+	if e.perNode != nil {
+		return e.perNode.BoundaryNode(e.net, i)
+	}
+	return false
+}
+
+// cacheEnabled reports whether the dirty-set cache applies. Centralized mode
+// always caches (unless disabled); Localized mode caches only when message
+// loss is off — loss draws are per-round randomness, so an outcome computed
+// last round is not the outcome this round's search would produce even over
+// identical positions.
 func (e *Engine) cacheEnabled() bool {
-	return e.cfg.Mode == Centralized && !e.cfg.DisableCache
+	if e.cfg.DisableCache {
+		return false
+	}
+	if e.cfg.Mode == Localized {
+		return e.cfg.LossRate == 0
+	}
+	return true
 }
 
 // ensureBuffers sizes the per-round buffers and the dirty-set cache for n
@@ -363,7 +522,11 @@ func (e *Engine) ensureBuffers(n int) {
 	e.nextBuf = e.nextBuf[:n]
 	if len(e.cache) != n {
 		e.cache = make([]nodeCache, n)
+		e.rhoHint = make([]float64, n)
 		e.cacheVer = e.net.Version()
+		// The cell-version snapshot indexes entries by the old numbering's
+		// occupancy; a node-count change makes it meaningless.
+		e.cellSnapOK = false
 	}
 }
 
@@ -375,12 +538,29 @@ func (e *Engine) ensurePool(workers int) {
 }
 
 // flushCache invalidates every cache entry and re-syncs with the network's
-// mutation counter.
+// mutation counter. It runs only between rounds, when no speculative entry
+// can exist (waves live and die within one sweep), so no refunds are due.
 func (e *Engine) flushCache() {
 	for i := range e.cache {
 		e.cache[i].valid = false
 	}
 	e.cacheVer = e.net.Version()
+}
+
+// dropEntry invalidates node j's cache entry. An unconsumed speculative
+// entry dying here means its search ran for nothing: the recorded message
+// cost is refunded so the round's accounting nets out to exactly what the
+// serial sweep would have charged.
+func (e *Engine) dropEntry(j int) {
+	c := &e.cache[j]
+	if c.spec {
+		c.spec = false
+		e.counters.SpecWasted++
+		if c.cost != 0 {
+			e.net.Charge(j, -c.cost)
+		}
+	}
+	c.valid = false
 }
 
 // invalidateMoved drops every cache entry whose exactness ball contains
@@ -422,8 +602,8 @@ func (e *Engine) invalidateMoved() {
 	e.rebuildRhoBounds()
 	e.counters.InverseScans++
 	for _, m := range e.movedBuf {
-		e.invalidateNear(m.old)
-		e.invalidateNear(m.new)
+		e.invalidateNear(m.old, 0)
+		e.invalidateNear(m.new, 0)
 	}
 }
 
@@ -441,7 +621,7 @@ func (e *Engine) pairScanMoved() {
 		r2 := c.rho * c.rho
 		for _, m := range e.movedBuf {
 			if ui.Dist2(m.old) <= r2 || ui.Dist2(m.new) <= r2 {
-				c.valid = false
+				e.dropEntry(i)
 				break
 			}
 		}
@@ -478,15 +658,21 @@ func (e *Engine) rebuildRhoBounds() {
 }
 
 // invalidateNear runs one inverse range query: drop every valid cache entry
-// whose exactness ball contains p. The cell-window walk itself lives with
-// the index (wsn.VisitCellsWithin); here each visited cell is pruned with
-// the per-cell ρ-bound (an upper bound, so pruning can only skip cells that
-// provably hold no affected entry) and surviving candidates get the exact
-// distance test, which matches the pair-scan predicate bit for bit.
-func (e *Engine) invalidateNear(p geom.Point) {
-	e.net.VisitCellsWithin(p, e.rhoMax, func(ci int) {
+// whose exactness ball, inflated by slack, contains p. The cell-window walk
+// itself lives with the index (wsn.VisitCellsWithin); here each visited cell
+// is pruned with the per-cell ρ-bound (an upper bound, so pruning can only
+// skip cells that provably hold no affected entry) and surviving candidates
+// get the exact distance test, which with slack 0 — the moved-endpoint case —
+// matches the pair-scan predicate bit for bit. A positive slack turns the
+// point test into "ball touches a square of half-diagonal slack around p",
+// the conservative form localFlush needs for changed grid cells.
+func (e *Engine) invalidateNear(p geom.Point, slack float64) {
+	e.net.VisitCellsWithin(p, e.rhoMax+slack, func(ci int) {
 		b := e.rhoBound[ci]
-		if b == 0 || e.net.CellDist2(ci, p) > b*b {
+		if b == 0 {
+			return
+		}
+		if r := b + slack; e.net.CellDist2(ci, p) > r*r {
 			return
 		}
 		e.counters.CellVisits++
@@ -496,11 +682,68 @@ func (e *Engine) invalidateNear(p geom.Point) {
 				continue
 			}
 			e.counters.CandidateVisits++
-			if e.net.Position(int(j)).Dist2(p) <= c.rho*c.rho {
-				c.valid = false
+			if r := c.rho + slack; e.net.Position(int(j)).Dist2(p) <= r*r {
+				e.dropEntry(int(j))
 			}
 		}
 	})
+}
+
+// localFlush attempts to absorb out-of-band position writes locally: diff
+// the grid's per-cell mutation versions against the snapshot taken when the
+// cache was last in sync, and invalidate only entries whose exactness ball
+// (inflated by the cell half-diagonal) can touch a changed cell. Both
+// endpoints of any external move live in bumped cells, so every affected
+// entry is dropped; entries farther away provably never read the rewritten
+// positions and stay valid — which is what makes interactive what-if editing
+// of a converged deployment cheap. It reports false when localization is
+// impossible — no snapshot, a full rebuild renumbered the cells (node
+// removal, bulk rewrite, bounds exit), or so many cells changed that a
+// wholesale flush is the cheaper response — and the caller falls back to
+// flushCache.
+func (e *Engine) localFlush() bool {
+	if !e.cellSnapOK || e.cellSnapGen != e.net.GridShape().Gen {
+		return false
+	}
+	changed := e.waveCands[:0] // reuse: the wave buffer is idle between rounds
+	for ci := range e.cellSnap {
+		if e.net.CellVersionAt(ci) != e.cellSnap[ci] {
+			changed = append(changed, ci)
+		}
+	}
+	e.waveCands = changed[:0]
+	if len(changed)*8 >= len(e.cellSnap) {
+		return false
+	}
+	e.rebuildRhoBounds()
+	e.counters.LocalFlushes++
+	for _, ci := range changed {
+		center, slack := e.net.CellCenter(ci)
+		e.invalidateNear(center, slack)
+		e.cellSnap[ci] = e.net.CellVersionAt(ci)
+	}
+	e.cacheVer = e.net.Version()
+	return true
+}
+
+// syncCellSnapshot brings the per-cell version snapshot up to date with the
+// round's own writes. After a full rebuild the cell numbering is new, so the
+// snapshot is recopied wholesale (that round already paid O(n)); otherwise
+// only the movers' cells are patched, so a converged round patches nothing.
+func (e *Engine) syncCellSnapshot() {
+	if gen := e.net.GridShape().Gen; !e.cellSnapOK || gen != e.cellSnapGen {
+		e.cellSnapGen, e.cellSnap = e.net.AppendCellVersions(e.cellSnap)
+		e.cellSnapOK = true
+		return
+	}
+	for _, m := range e.movedBuf {
+		if ci := e.net.CellIndex(m.old); ci >= 0 {
+			e.cellSnap[ci] = e.net.CellVersionAt(ci)
+		}
+		if ci := e.net.CellIndex(m.new); ci >= 0 {
+			e.cellSnap[ci] = e.net.CellVersionAt(ci)
+		}
+	}
 }
 
 // Step executes one LAACAD round and returns its statistics. The returned
@@ -508,8 +751,10 @@ func (e *Engine) invalidateNear(p geom.Point) {
 // more than ε this round). With Config.Order == Synchronous all moves apply
 // at the end of the round and the per-node region computations fan out
 // across Config.Workers goroutines; with Sequential each node's move is
-// visible to the nodes processed after it, which is inherently serial.
-// Either way the result is bit-identical for every worker count.
+// visible to the nodes processed after it — the commit order stays serial,
+// but the expensive region recomputations are precomputed in parallel by
+// the colored sweep's speculation waves (see colored.go). Either way the
+// result is bit-identical for every worker count.
 func (e *Engine) Step() (RoundStats, bool) {
 	n := e.net.Len()
 	round := e.round + 1
@@ -521,22 +766,56 @@ func (e *Engine) Step() (RoundStats, bool) {
 	cacheOn := e.cacheEnabled()
 	if cacheOn && e.cacheVer != e.net.Version() {
 		// Positions were written behind the engine's back (direct Network
-		// mutation, resume restore): nothing cached can be trusted.
-		e.flushCache()
-	}
-	var isBoundary []bool
-	if e.cfg.Mode == Localized {
-		isBoundary = e.detector.Boundary(e.net)
+		// mutation, resume restore). When the per-cell version diff can
+		// localize the damage, only the entries whose exactness ball touches
+		// a changed cell are dropped; otherwise (renumbering, rebuild,
+		// wholesale rewrites) nothing cached can be trusted.
+		if !e.localFlush() {
+			e.flushCache()
+		}
 	}
 	sequential := e.cfg.Order == Sequential
+	var isBoundary []bool
+	e.lazyDet = false
+	if e.cfg.Mode == Localized {
+		if pn, ok := e.detector.(boundary.PerNode); ok && cacheOn && !sequential {
+			// Per-node-local detector + cache: flags are evaluated lazily,
+			// only for nodes being recomputed — a valid entry's one-hop ball
+			// is unchanged, so its flag is too (the PerNode contract). A
+			// Synchronous fan-out reads round-start positions, so the lazy
+			// flag equals the eager round-start array entry; a Sequential
+			// sweep mutates positions mid-round, where a lazy evaluation
+			// would see a different state than the eager engine's
+			// start-of-round pass — so Sequential always precomputes.
+			e.perNode = pn
+			e.lazyDet = true
+		} else {
+			isBoundary = e.detector.Boundary(e.net)
+		}
+	}
 	outs := e.outs
+	e.movedBuf = e.movedBuf[:0]
 	if sequential {
-		e.ensurePool(1)
+		workers := parallel.Workers(e.cfg.Workers)
+		e.ensurePool(workers)
 		// The per-cell ρ-bounds are rebuilt lazily by the first move of the
 		// sweep and then kept current entry-by-entry (see invalidateAround),
 		// so a converged sweep pays nothing for them.
 		e.seqBoundsLive = false
+		e.wavesThisRound = 0
+		e.dudWaves = 0
+		e.waveCap = max(waveCapInit, 8*workers)
+		e.waveBaseComputed = e.counters.SpecComputed
+		e.waveBaseWasted = e.counters.SpecWasted
 		for i := 0; i < n; i++ {
+			if cacheOn && workers > 1 && !e.cache[i].valid {
+				// Colored sweep: fill upcoming dirty entries in parallel
+				// from the current committed state; the serial loop below
+				// consumes each entry only if it is still valid at the
+				// node's turn, so the sweep's fixed point and trace are
+				// bit-identical to the one-worker sweep.
+				e.speculate(i, round, isBoundary, workers)
+			}
 			outs[i] = e.stepNodeAny(i, round, isBoundary, e.pool[0], cacheOn)
 			if cacheOn && e.seqBoundsLive {
 				if c := &e.cache[i]; c.valid {
@@ -545,6 +824,7 @@ func (e *Engine) Step() (RoundStats, bool) {
 			}
 			if ui := e.net.Position(i); outs[i].next != ui {
 				e.net.SetPosition(i, outs[i].next)
+				e.movedBuf = append(e.movedBuf, movedNode{id: i, old: ui, new: outs[i].next})
 				if cacheOn {
 					e.invalidateAround(i, ui, outs[i].next)
 				}
@@ -562,7 +842,6 @@ func (e *Engine) Step() (RoundStats, bool) {
 
 	polysPerNode := make([][]geom.Polygon, n)
 	moved := 0
-	e.movedBuf = e.movedBuf[:0]
 	for i := range outs {
 		o := &outs[i]
 		polysPerNode[i] = o.polys
@@ -619,6 +898,9 @@ func (e *Engine) Step() (RoundStats, bool) {
 		}
 		e.cacheVer = e.net.Version()
 	}
+	if cacheOn {
+		e.syncCellSnapshot()
+	}
 	e.regions = polysPerNode
 	e.round++
 	stats.Moved = moved
@@ -638,7 +920,7 @@ func (e *Engine) Step() (RoundStats, bool) {
 // the same sweep feed them via noteRhoBound, so the bounds stay upper bounds
 // throughout and the inverse queries never miss an affected entry.
 func (e *Engine) invalidateAround(i int, old, new geom.Point) {
-	e.cache[i].valid = false
+	e.dropEntry(i)
 	boundsStale := !e.seqBoundsLive || e.boundGen != e.net.GridShape().Gen
 	rhoMax := e.rhoMax
 	if boundsStale {
@@ -663,7 +945,7 @@ func (e *Engine) invalidateAround(i int, old, new geom.Point) {
 			uj := e.net.Position(j)
 			r2 := c.rho * c.rho
 			if uj.Dist2(old) <= r2 || uj.Dist2(new) <= r2 {
-				c.valid = false
+				e.dropEntry(j)
 			}
 		}
 		return
@@ -673,8 +955,8 @@ func (e *Engine) invalidateAround(i int, old, new geom.Point) {
 		e.seqBoundsLive = true
 	}
 	e.counters.InverseScans++
-	e.invalidateNear(old)
-	e.invalidateNear(new)
+	e.invalidateNear(old, 0)
+	e.invalidateNear(new, 0)
 }
 
 // noteRhoBound folds one freshly written cache entry into the live per-cell

@@ -39,10 +39,20 @@ func (e *Engine) localizedRegions() [][]geom.Polygon {
 	workers := parallel.Workers(e.cfg.Workers)
 	e.ensurePool(workers)
 	parallel.ForWorker(n, workers, func(w, i int) {
-		polys := e.localizedRegionOf(i, isBoundary[i], nodeRNG(e.cfg.Seed, round, i), e.pool[w])
+		polys, _ := e.localizedRegionOf(i, isBoundary[i], e.lossRNG(round, i), e.pool[w])
 		out[i] = voronoi.CompactRegion(polys)
 	})
 	return out
+}
+
+// lossRNG returns node i's private message-loss stream for the given round,
+// or nil when loss sampling is off — the search consumes no randomness then,
+// so skipping the generator allocation is invisible to trajectories.
+func (e *Engine) lossRNG(round, i int) *rand.Rand {
+	if e.cfg.LossRate <= 0 {
+		return nil
+	}
+	return nodeRNG(e.cfg.Seed, round, i)
 }
 
 // localizedRegionOf runs Algorithm 2 for node i. rng drives message-loss
@@ -50,7 +60,15 @@ func (e *Engine) localizedRegions() [][]geom.Polygon {
 // parallel fan-outs stay deterministic. The geometry runs on s's kernel
 // arena: the returned polygons are valid only until the next region
 // computation on s (compact them to keep them).
-func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand, s *Scratch) []geom.Polygon {
+//
+// The second return value is the search's invalidation radius: the whole
+// computation — every ring probe, the domination sampling, the coverage
+// check and the region construction — read only positions within that
+// distance of u_i, so the result (and its exact message cost) is
+// reproducible bit for bit until some position inside that ball changes.
+// For geometric rings that radius is the final ρ; hop-limited rings flood
+// ⌈ρ/γ⌉ hops, whose reachable set can depend on relays up to ⌈ρ/γ⌉·γ out.
+func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand, s *Scratch) ([]geom.Polygon, float64) {
 	ui := e.net.Position(i)
 	gamma := e.cfg.Gamma
 	rho := 0.0
@@ -95,7 +113,17 @@ func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand, s *Sc
 	if clipToRing {
 		polys = clipToDisk(polys, geom.Circle{Center: ui, R: rho / 2}, s)
 	}
-	return polys
+	invRad := rho
+	if e.cfg.RingMode == wsn.RingHopLimited {
+		invRad = math.Ceil(rho/gamma) * gamma
+	}
+	if invRad < gamma {
+		// Possible only when RingCap < γ clamps the very first probe. The
+		// cached entry's boundary flag reads the full γ-ball (the PerNode
+		// locality contract), so the invalidation ball must cover it.
+		invRad = gamma
+	}
+	return polys, invRad
 }
 
 // circleDominated implements lines 5–8 of Algorithm 2: it samples the circle

@@ -116,7 +116,10 @@ func TestParallelLocalizedLossyDeterministic(t *testing.T) {
 	}
 }
 
-// Workers must not leak into Sequential order, which is inherently serial.
+// Workers must not leak into Sequential results: the colored sweep is pure
+// speedup, so any worker count — including the NumCPU sentinel resolution —
+// reproduces the serial sweep exactly. (The dedicated colored-sweep matrix
+// lives in colored_test.go; this guards the historical entry point.)
 func TestSequentialIgnoresWorkers(t *testing.T) {
 	reg := region.UnitSquareKm()
 	rng := rand.New(rand.NewSource(5))

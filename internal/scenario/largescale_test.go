@@ -14,7 +14,7 @@ import (
 // machinery run either way.
 func TestLargeScaleScenarioSmoke(t *testing.T) {
 	rounds := 3
-	for _, name := range []string{"square1km", "campus"} {
+	for _, name := range []string{"square1km", "campus", "square1km-localized"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			sc, err := Lookup(name)
@@ -61,6 +61,9 @@ func TestLargeScaleScenarioSmoke(t *testing.T) {
 			if lastMoved > sc.N/4 {
 				t.Errorf("round %d moved %d of %d nodes; grid placement should start near-converged",
 					rounds, lastMoved, sc.N)
+			}
+			if sc.Config.Mode == core.Localized && res.Messages == 0 {
+				t.Error("localized scale run charged no messages; accounting broken")
 			}
 		})
 	}

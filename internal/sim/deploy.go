@@ -204,10 +204,14 @@ func NewDeployment(reg *region.Region, initial []geom.Point, cfg Config) (*Deplo
 	for i, p := range initial {
 		pos[i] = reg.ClampInside(p)
 	}
+	net := wsn.New(pos, reg.BBox().Diagonal()/8)
+	// Every position stays clamped inside reg, so region-seeded grid bounds
+	// absorb all mid-simulation moves without bounds-exit rebuilds.
+	net.SetBoundsHint(reg.BBox())
 	d := &Deployment{
 		sim:         &Sim{},
 		reg:         reg,
-		net:         wsn.New(pos, reg.BBox().Diagonal()/8),
+		net:         net,
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed + 11)),
 		scr:         core.NewScratch(),

@@ -89,7 +89,16 @@ func (g *gridIndex) cellDist2(ci int, p geom.Point) float64 {
 // counting-sort scatter runs serially in ascending node order, which is what
 // keeps every bucket ascending. prevGen threads the rebuild generation
 // across index lifetimes.
-func buildGrid(pos []geom.Point, gamma float64, prevGen uint64) *gridIndex {
+//
+// A non-nil bounds hint (the deployment region's bounding box, see
+// Network.SetBoundsHint) is unioned into both the grid bounds and the cell
+// sizing: the grid then covers everywhere the nodes can ever be, so an
+// expansion-phase deployment (corner pile spreading across the region) never
+// exits the bounds and never forces a rebuild. While the nodes are still
+// clustered the hint-scaled cells hold more than the usual ~4 nodes each —
+// a transient query-cost tax the expansion pays instead of one full rebuild
+// per round; query answers are canonical either way.
+func buildGrid(pos []geom.Point, gamma float64, prevGen uint64, hint *geom.BBox) *gridIndex {
 	g := &gridIndex{side: gamma, gen: prevGen + 1}
 	n := len(pos)
 	if n == 0 {
@@ -99,6 +108,9 @@ func buildGrid(pos []geom.Point, gamma float64, prevGen uint64) *gridIndex {
 		return g
 	}
 	b := geom.BBoxOf(pos)
+	if hint != nil {
+		b = b.Union(*hint)
+	}
 	span := math.Max(b.Width(), b.Height())
 	// Size cells for a few nodes each: that is what makes both query windows
 	// and bucket edits O(local). Occupancy ~4 (double-pitch cells) balances

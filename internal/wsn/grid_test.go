@@ -187,3 +187,51 @@ func TestBulkWriteRebuildsAndCountersSurviveTopologyChange(t *testing.T) {
 		t.Errorf("fresh node carries %d messages", got)
 	}
 }
+
+// SetBoundsHint widens the grid to cover the declared area: moves anywhere
+// inside the hint are absorbed incrementally (no bounds-exit rebuilds), and
+// query answers stay canonical — identical to a brute-force scan — for any
+// cell geometry the hint induces.
+func TestBoundsHintAbsorbsWideMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	pts := make([]geom.Point, 60)
+	for i := range pts {
+		// Clustered start in a corner of a much larger declared area.
+		pts[i] = geom.Pt(rng.Float64()*0.1, rng.Float64()*0.1)
+	}
+	net := New(pts, 0.05)
+	net.SetBoundsHint(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)})
+	net.Rebuild()
+	base := net.Rebuilds()
+	for op := 0; op < 200; op++ {
+		i := rng.Intn(len(pts))
+		p := geom.Pt(rng.Float64(), rng.Float64()) // anywhere in the hint
+		net.SetPosition(i, p)
+		pts[i] = p
+		j := rng.Intn(len(pts))
+		rho := 0.05 + rng.Float64()*0.4
+		got := net.NeighborsWithin(j, rho)
+		var want []int
+		for k, q := range pts {
+			if k != j && q.Dist2(pts[j]) < rho*rho {
+				want = append(want, k)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("op %d: NeighborsWithin(%d, %v) = %v, want %v", op, j, rho, got, want)
+		}
+	}
+	if got := net.Rebuilds(); got != base {
+		t.Errorf("moves inside the hinted bounds forced %d rebuilds, want 0", got-base)
+	}
+	// A move outside the hint still falls back to a rebuild with fresh
+	// bounds (the hint widens the grid, it does not clamp nodes).
+	net.SetPosition(0, geom.Pt(2.5, 2.5))
+	pts[0] = geom.Pt(2.5, 2.5)
+	if got := net.NeighborsWithin(0, 5.0); len(got) != len(pts)-1 {
+		t.Errorf("post-exit query found %d neighbors, want %d", len(got), len(pts)-1)
+	}
+	if net.Rebuilds() == base {
+		t.Error("a move outside the hinted bounds did not rebuild")
+	}
+}

@@ -49,6 +49,10 @@ type Network struct {
 	idx   *gridIndex
 	dirty atomic.Bool
 
+	// boundsHint, when set, is unioned into every rebuild's grid bounds and
+	// cell sizing (see SetBoundsHint).
+	boundsHint *geom.BBox
+
 	// Observability counters for the index maintenance policy: rebuilds
 	// counts full O(n) reconstructions, incMoves the O(1) bucket updates.
 	// They are maintained on the (single-threaded) mutation path; read them
@@ -190,6 +194,23 @@ func (n *Network) markDirty() {
 	n.version.Add(1)
 }
 
+// SetBoundsHint declares the area the deployment can ever occupy (the target
+// region's bounding box). Every grid rebuild from then on unions the hint
+// into its bounds and cell sizing, so moves anywhere inside the hint are
+// absorbed incrementally — without it, a corner-start deployment that grows
+// its position bounding box every round forces a bounds-exit rebuild per
+// expansion round. Query answers are independent of cell geometry, so the
+// hint is purely an indexing choice. Setting it schedules one rebuild; must
+// not run concurrently with queries.
+func (n *Network) SetBoundsHint(b geom.BBox) {
+	if b.IsEmpty() {
+		return
+	}
+	hint := b
+	n.boundsHint = &hint
+	n.dirty.Store(true)
+}
+
 // Version returns a counter incremented by every position mutation
 // (SetPosition, SetPositions, AddNode, RemoveNode). Consumers that cache
 // position-derived state — the round engine's incremental dirty-set —
@@ -201,6 +222,12 @@ func (n *Network) Version() uint64 { return n.version.Load() }
 // without materializing the per-node slice, for per-round accounting in hot
 // loops.
 func (n *Network) MessageCount() int64 { return n.msgs.Load() }
+
+// NodeMessages returns the link-level messages attributed to node i so far.
+// It is safe for concurrent use; a worker measuring the cost of one node's
+// own query sequence (ring searches charge to the searching node) can diff
+// it around the computation without materializing Stats.
+func (n *Network) NodeMessages(i int) int64 { return n.byNode[i].Load() }
 
 // Stats returns a snapshot of the accumulated communication statistics.
 func (n *Network) Stats() Stats {
@@ -253,7 +280,7 @@ func (n *Network) rebuild() {
 	if n.idx != nil {
 		prevGen = n.idx.gen
 	}
-	n.idx = buildGrid(n.pos, n.gamma, prevGen)
+	n.idx = buildGrid(n.pos, n.gamma, prevGen, n.boundsHint)
 	n.rebuilds++
 	n.dirty.Store(false)
 }
@@ -352,6 +379,38 @@ func (n *Network) CellVersion(p geom.Point) (gen uint64, ver uint32) {
 		return n.idx.gen, 0
 	}
 	return n.idx.gen, n.idx.vers[ci]
+}
+
+// CellVersionAt returns the mutation version of cell ci (see CellVersion).
+func (n *Network) CellVersionAt(ci int) uint32 {
+	n.rebuild()
+	return n.idx.vers[ci]
+}
+
+// AppendCellVersions copies every cell's mutation version into dst[:0]
+// (growing it as needed) and returns the rebuild generation the copy belongs
+// to plus the copy itself — the snapshot primitive for consumers that later
+// want to diff "which cells changed behind my back" (see the engine's
+// localized out-of-band invalidation). Cell indices in the copy are only
+// meaningful while the generation matches.
+func (n *Network) AppendCellVersions(dst []uint32) (uint64, []uint32) {
+	n.rebuild()
+	dst = append(dst[:0], n.idx.vers...)
+	return n.idx.gen, dst
+}
+
+// CellCenter returns the center point of grid cell ci, and the cell's
+// half-diagonal — the slack a consumer needs to turn "ball touches cell"
+// into a center-distance test.
+func (n *Network) CellCenter(ci int) (geom.Point, float64) {
+	n.rebuild()
+	g := n.idx
+	rx, ry := ci%g.nx, ci/g.nx
+	c := geom.Pt(
+		(float64(g.ox+rx)+0.5)*g.side,
+		(float64(g.oy+ry)+0.5)*g.side,
+	)
+	return c, g.side * math.Sqrt2 / 2
 }
 
 // NeighborsWithin returns the IDs of all nodes other than i strictly within
