@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"laacad/internal/boundary"
 	"laacad/internal/core"
 	"laacad/internal/coverage"
 	"laacad/internal/region"
@@ -478,6 +479,64 @@ func BenchmarkScaleLocalizedFewMovers(b *testing.B) {
 			b.StopTimer()
 			if eng.Network().MessageCount() == 0 {
 				b.Fatal("no messages charged; accounting broken")
+			}
+		})
+	}
+}
+
+// BenchmarkSeqLocalizedFewMovers measures a Sequential-order Localized round
+// in the few-movers regime. The outcome cache already confines the
+// expanding-ring searches to γ-ball-touched nodes, so whole-network boundary
+// detection is the last O(n) term in the round — this is the regression
+// surface for the incremental boundary-flag cache.
+func BenchmarkSeqLocalizedFewMovers(b *testing.B) {
+	for _, n := range benchScaleSizes() {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts, pitch := wsn.UnitLattice(n, 64)
+			cfg := DefaultConfig(2)
+			cfg.Mode = Localized
+			cfg.Order = Sequential
+			cfg.Gamma = 3 * pitch
+			cfg.Epsilon = pitch / 50
+			eng, err := NewEngine(UnitSquareKm(), pts, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for r := 0; r < 30; r++ { // settle the boundary transient
+				if st, done := eng.Step(); done || st.Moved <= n/128 {
+					break
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Step()
+			}
+			b.StopTimer()
+			if eng.Network().MessageCount() == 0 {
+				b.Fatal("no messages charged; accounting broken")
+			}
+		})
+	}
+}
+
+// BenchmarkBoundaryDetector measures the AngularGap whole-network scan — the
+// per-round boundary-detection cost a Localized run pays whenever flags
+// cannot be served from the incremental cache (cold start, global writes).
+func BenchmarkBoundaryDetector(b *testing.B) {
+	for _, n := range []int{2500, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pts, pitch := wsn.UnitLattice(n, 0)
+			net := wsn.New(pts, 3*pitch)
+			net.Rebuild()
+			det := boundary.AngularGap{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				flags := det.Boundary(net)
+				if !flags[0] {
+					b.Fatal("corner lattice node must be a boundary node")
+				}
 			}
 		})
 	}

@@ -57,17 +57,26 @@ type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Procs is the GOMAXPROCS value the row ran under — the numeric suffix
+	// go test appends to the name. It disambiguates the rows of a -cpus
+	// sweep, where the same benchmark appears once per requested width.
+	Procs int `json:"procs,omitempty"`
 }
 
 // Snapshot is the file schema of a BENCH_<date>.json.
 type Snapshot struct {
-	Date       string      `json:"date"`
-	Label      string      `json:"label,omitempty"`
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	CPU        string      `json:"cpu,omitempty"`
+	Date      string `json:"date"`
+	Label     string `json:"label,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	// GoMaxProcs is the machine parallelism of the run (runtime
+	// GOMAXPROCS), recorded so wall-times from differently sized runners
+	// are never compared as if they were peers.
+	GoMaxProcs int         `json:"gomaxprocs,omitempty"`
 	Benchtime  string      `json:"benchtime,omitempty"`
+	Cpus       string      `json:"cpus,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -96,6 +105,7 @@ func main() {
 		label     = flag.String("label", "", "free-form annotation stored in the snapshot")
 		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
 		stdin     = flag.Bool("stdin", false, "reduce go test output from stdin instead of running go test")
+		cpus      = flag.String("cpus", "", "comma-separated GOMAXPROCS sweep passed to go test -cpu (e.g. 1,2,4); each benchmark runs once per width")
 	)
 	flag.Parse()
 	if *mode != "" {
@@ -111,6 +121,9 @@ func main() {
 		raw = os.Stdin
 	} else {
 		args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}
+		if *cpus != "" {
+			args = append(args, "-cpu", *cpus)
+		}
 		if *short {
 			args = append(args, "-short")
 		}
@@ -134,8 +147,10 @@ func main() {
 	snap.Date = time.Now().UTC().Format("2006-01-02")
 	snap.Label = *label
 	snap.GoVersion = runtime.Version()
+	snap.GoMaxProcs = runtime.GOMAXPROCS(0)
 	if !*stdin {
 		snap.Benchtime = *benchtime
+		snap.Cpus = *cpus
 	}
 	if len(snap.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark results found in input"))
@@ -168,11 +183,12 @@ var modeBench = map[string]string{
 	// Synchronous Centralized rounds: the parallel lock-step engine plus the
 	// few-movers scale surface.
 	"synchronous": "StepParallel|ScaleStepFewMovers|Fig6Convergence|Table1MinNode2Coverage|Table2LensComparison",
-	// Sequential (Gauss–Seidel) rounds: the graph-colored parallel sweep.
-	"sequential": "SeqStepFewMovers|SeqStepActive",
-	// Localized Algorithm 2: the message-faithful cached rounds plus the
-	// expanding-ring probe.
-	"localized": "ScaleLocalizedFewMovers|Fig2ExpandingRing|AblationLocalizedVsCentralized",
+	// Sequential (Gauss–Seidel) rounds: the graph-colored parallel sweep,
+	// including its hardest accounting cell (Localized escrow under waves).
+	"sequential": "SeqStepFewMovers|SeqStepActive|SeqLocalizedFewMovers",
+	// Localized Algorithm 2: the message-faithful cached rounds, the
+	// expanding-ring probe, and the incremental boundary detector.
+	"localized": "ScaleLocalizedFewMovers|Fig2ExpandingRing|AblationLocalizedVsCentralized|SeqLocalizedFewMovers|BoundaryDetector",
 }
 
 // modePattern resolves a -mode name to its -bench pattern.
@@ -214,6 +230,9 @@ func Reduce(r io.Reader) (*Snapshot, error) {
 			continue
 		}
 		b := Benchmark{Name: procSuffix.ReplaceAllString(m[1], "")}
+		if s := procSuffix.FindString(m[1]); s != "" {
+			b.Procs, _ = strconv.Atoi(s[1:])
+		}
 		var err error
 		if b.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
 			return nil, fmt.Errorf("bench: parsing %q: %w", line, err)
@@ -262,13 +281,29 @@ func runCompare(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// A name appearing at more than one GOMAXPROCS width in either snapshot
+	// is a -cpus sweep: qualify its key with the width so the rows do not
+	// shadow each other. All other names stay bare, keeping snapshots from
+	// differently sized machines comparable.
+	multi := sweepNames(oldSnap)
+	for name, v := range sweepNames(newSnap) {
+		if v {
+			multi[name] = true
+		}
+	}
+	key := func(b Benchmark) string {
+		if multi[b.Name] {
+			return fmt.Sprintf("%s/procs=%d", b.Name, b.Procs)
+		}
+		return b.Name
+	}
 	oldBy := make(map[string]Benchmark, len(oldSnap.Benchmarks))
 	for _, b := range oldSnap.Benchmarks {
-		oldBy[b.Name] = b
+		oldBy[key(b)] = b
 	}
 	newBy := make(map[string]Benchmark, len(newSnap.Benchmarks))
 	for _, b := range newSnap.Benchmarks {
-		newBy[b.Name] = b
+		newBy[key(b)] = b
 	}
 
 	fmt.Fprintf(w, "old: %s (%s, %s)\nnew: %s (%s, %s)\n\n",
@@ -281,27 +316,28 @@ func runCompare(args []string, w io.Writer) error {
 	// New-snapshot order first (the trajectory being judged), then
 	// old-only rows.
 	for _, nb := range newSnap.Benchmarks {
-		ob, ok := oldBy[nb.Name]
+		k := key(nb)
+		ob, ok := oldBy[k]
 		if !ok {
-			fmt.Fprintf(tw, "%s\t—\t%.0f\tnew\t—\t%d\tnew\t\n", strings.TrimPrefix(nb.Name, "Benchmark"), nb.NsPerOp, nb.AllocsPerOp)
+			fmt.Fprintf(tw, "%s\t—\t%.0f\tnew\t—\t%d\tnew\t\n", strings.TrimPrefix(k, "Benchmark"), nb.NsPerOp, nb.AllocsPerOp)
 			continue
 		}
 		dt := pctDelta(ob.NsPerOp, nb.NsPerOp)
 		da := pctDelta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
 		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%d\t%d\t%s\t\n",
-			strings.TrimPrefix(nb.Name, "Benchmark"), ob.NsPerOp, nb.NsPerOp, fmtPct(dt),
+			strings.TrimPrefix(k, "Benchmark"), ob.NsPerOp, nb.NsPerOp, fmtPct(dt),
 			ob.AllocsPerOp, nb.AllocsPerOp, fmtPct(da))
 		if ob.NsPerOp > 0 && nb.NsPerOp > 0 {
 			logSum += math.Log(ob.NsPerOp / nb.NsPerOp)
 			common++
 		}
 		if dt > worst {
-			worst, worstName = dt, nb.Name
+			worst, worstName = dt, k
 		}
 	}
 	for _, ob := range oldSnap.Benchmarks {
-		if _, ok := newBy[ob.Name]; !ok {
-			fmt.Fprintf(tw, "%s\t%.0f\t—\tgone\t%d\t—\tgone\t\n", strings.TrimPrefix(ob.Name, "Benchmark"), ob.NsPerOp, ob.AllocsPerOp)
+		if k := key(ob); newBy[k].Name == "" {
+			fmt.Fprintf(tw, "%s\t%.0f\t—\tgone\t%d\t—\tgone\t\n", strings.TrimPrefix(k, "Benchmark"), ob.NsPerOp, ob.AllocsPerOp)
 		}
 	}
 	if err := tw.Flush(); err != nil {
@@ -315,6 +351,23 @@ func runCompare(args []string, w io.Writer) error {
 		return fmt.Errorf("%s regressed %.1f%% (> %.1f%% allowed)", worstName, worst, *maxRegress)
 	}
 	return nil
+}
+
+// sweepNames reports which benchmark names appear at more than one
+// GOMAXPROCS width within the snapshot — the signature of a -cpus sweep.
+func sweepNames(s *Snapshot) map[string]bool {
+	firstProcs := make(map[string]int, len(s.Benchmarks))
+	multi := make(map[string]bool)
+	for _, b := range s.Benchmarks {
+		if p, ok := firstProcs[b.Name]; ok {
+			if p != b.Procs {
+				multi[b.Name] = true
+			}
+			continue
+		}
+		firstProcs[b.Name] = b.Procs
+	}
+	return multi
 }
 
 // pctDelta returns the relative change from old to new in percent (positive

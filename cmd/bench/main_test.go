@@ -40,12 +40,19 @@ func TestReduce(t *testing.T) {
 		t.Errorf("fig5 parsed as %+v", fig5)
 	}
 	// The -GOMAXPROCS suffix is stripped so snapshots from different
-	// machines line up, but sub-benchmark path components survive.
+	// machines line up, but sub-benchmark path components survive and the
+	// width itself is preserved in Procs.
 	if got := snap.Benchmarks[1].Name; got != "BenchmarkStepParallel/n=250/workers=1" {
 		t.Errorf("sub-benchmark name = %q", got)
 	}
+	if got := snap.Benchmarks[1].Procs; got != 8 {
+		t.Errorf("procs = %d, want 8", got)
+	}
 	if got := snap.Benchmarks[2].Name; got != "BenchmarkWelzl" {
 		t.Errorf("suffix not stripped: %q", got)
+	}
+	if got := snap.Benchmarks[0].Procs; got != 0 {
+		t.Errorf("suffix-less row has procs = %d, want 0", got)
 	}
 	// Rows without -benchmem columns still parse.
 	if b := snap.Benchmarks[3]; b.NsPerOp != 50.5 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
@@ -110,6 +117,58 @@ func TestCompareMaxRegressGate(t *testing.T) {
 	}
 	if err := runCompare([]string{"-max-regress", "90", oldPath, newPath}, &out); err != nil {
 		t.Errorf("an 80%% regression must pass -max-regress 90, got %v", err)
+	}
+}
+
+// A -cpus sweep emits the same benchmark once per width; every row must
+// survive reduction (same Name, distinct Procs).
+func TestReduceCpusSweep(t *testing.T) {
+	const sweep = `BenchmarkSeqLocalizedFewMovers/n=1000     	       3	 8000000 ns/op	  100 B/op	  10 allocs/op
+BenchmarkSeqLocalizedFewMovers/n=1000-2   	       3	 5000000 ns/op	  100 B/op	  10 allocs/op
+BenchmarkSeqLocalizedFewMovers/n=1000-4   	       3	 3000000 ns/op	  100 B/op	  10 allocs/op
+`
+	snap, err := Reduce(strings.NewReader(sweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("got %d rows, want 3", len(snap.Benchmarks))
+	}
+	wantProcs := []int{0, 2, 4} // go test omits the suffix at width 1
+	for i, b := range snap.Benchmarks {
+		if b.Name != "BenchmarkSeqLocalizedFewMovers/n=1000" {
+			t.Errorf("row %d name = %q", i, b.Name)
+		}
+		if b.Procs != wantProcs[i] {
+			t.Errorf("row %d procs = %d, want %d", i, b.Procs, wantProcs[i])
+		}
+	}
+}
+
+// Sweep rows must not shadow each other in compare: when a name appears at
+// several widths, the keys are procs-qualified, so all rows participate.
+func TestCompareCpusSweepKeys(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", Snapshot{
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 1000, Procs: 1},
+			{Name: "BenchmarkA", NsPerOp: 600, Procs: 4},
+		},
+	})
+	newPath := writeSnapshot(t, "new.json", Snapshot{
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", NsPerOp: 500, Procs: 1},
+			{Name: "BenchmarkA", NsPerOp: 200, Procs: 4},
+		},
+	})
+	var out strings.Builder
+	if err := runCompare([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"A/procs=1", "A/procs=4", "-50.0%", "geomean speedup over 2 common benchmarks"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("compare output missing %q:\n%s", want, text)
+		}
 	}
 }
 

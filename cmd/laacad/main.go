@@ -58,6 +58,7 @@ func run(args []string) error {
 		regName  = fs.String("region", "square", "region: one of the registered regions (see -list)")
 		start    = fs.String("start", "uniform", "initial placement: one of the registered placements (see -list)")
 		workers  = fs.Int("workers", 0, "engine worker goroutines per round (0 = serial, -1 = all CPUs); trajectories are identical for any value")
+		metrics  = fs.String("metrics", "", "serve live run metrics as JSON over HTTP on this address (e.g. localhost:6060); empty = off")
 		gridRes  = fs.Int("grid", 80, "coverage verification grid resolution")
 		showPlot = fs.Bool("plot", true, "render final layout as ASCII")
 		savePath = fs.String("save", "", "write the final deployment as a JSON snapshot")
@@ -78,6 +79,16 @@ func run(args []string) error {
 	defer stop()
 
 	var opts []laacad.RunOption
+	if *metrics != "" {
+		reg := &laacad.MetricsRegistry{}
+		addr, shutdown, err := serveMetrics(*metrics, reg)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Printf("serving metrics at http://%s/metrics\n", addr)
+		opts = append(opts, laacad.WithMetrics(reg))
+	}
 	if *every > 0 {
 		opts = append(opts, laacad.WithSnapshotEvery(*every, func(st *laacad.Checkpoint) error {
 			return st.WriteFile(*ckpt)

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"net"
+	"net/http"
+
+	"laacad"
+)
+
+// serveMetrics exposes reg over HTTP at /metrics (and /) on addr, returning
+// the bound address (useful with a ":0" port) and a shutdown function. The
+// registry's gauges read true atomics, so scraping a run mid-round returns
+// exact, monotone counters — the point of the deferred-charge ledger.
+func serveMetrics(addr string, reg *laacad.MetricsRegistry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/", reg)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"laacad"
+)
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	reg := &laacad.MetricsRegistry{}
+	reg.Counter("engine.rounds").Set(11)
+	addr, shutdown, err := serveMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics endpoint returned invalid JSON: %v\n%s", err, body)
+	}
+	if snap["engine.rounds"] != 11 {
+		t.Errorf("engine.rounds = %d, want 11", snap["engine.rounds"])
+	}
+}
+
+func TestRunWithMetricsFlag(t *testing.T) {
+	err := run([]string{
+		"-n", "12", "-k", "1", "-rounds", "40", "-eps", "0.005",
+		"-mode", "localized", "-gamma", "0.35", "-grid", "20", "-plot=false",
+		"-metrics", "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("run with -metrics: %v", err)
+	}
+}
+
+func TestRunRejectsBadMetricsAddr(t *testing.T) {
+	if err := run([]string{"-metrics", "not-an-address:-1"}); err == nil {
+		t.Error("unusable metrics address should fail")
+	}
+}

@@ -17,7 +17,7 @@ package boundary
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"laacad/internal/geom"
 	"laacad/internal/wsn"
@@ -33,17 +33,38 @@ type Detector interface {
 // PerNode is the optional refinement of Detector for detectors whose verdict
 // for node i depends only on positions within the transmission range γ of
 // node i. Implementing it is a locality CONTRACT, not just an API: consumers
-// (the round engine's localized cache) rely on "one-hop ball unchanged ⇒
-// flag unchanged" to skip re-evaluating flags for nodes whose cached
-// neighborhood is provably untouched, and to evaluate flags lazily for the
-// rest. Global detectors (Hull) must not implement it; they are re-evaluated
-// wholesale every round instead.
+// (the round engine's incremental boundary-flag cache) rely on "one-hop ball
+// unchanged ⇒ flag unchanged" to keep cached flags for nodes whose γ-ball is
+// provably untouched and re-evaluate only the invalidated rest. Global
+// detectors (Hull) must not implement it; they are re-evaluated wholesale
+// every round instead.
 type PerNode interface {
 	Detector
 	// BoundaryNode reports whether node i is a boundary node. It must be
 	// safe for concurrent use between network mutations and must read only
 	// positions within γ of node i.
 	BoundaryNode(net *wsn.Network, i int) bool
+}
+
+// Scratch holds the reusable buffers of one boundary-detection consumer:
+// the neighbor-ID and bearing slices a per-node evaluation needs. Following
+// the voronoi.Scratch pattern, a zero Scratch is ready to use, buffers grow
+// to the working-set size on first use, and subsequent evaluations through
+// the same Scratch are allocation-free. A Scratch must not be shared between
+// goroutines.
+type Scratch struct {
+	nbrs   []int
+	angles []float64
+}
+
+// PerNodeScratch is the optional refinement of PerNode for detectors that
+// can evaluate a single node through caller-owned scratch buffers without
+// heap allocation — the variant hot loops (the engine's incremental
+// boundary-flag cache) use.
+type PerNodeScratch interface {
+	PerNode
+	// BoundaryNodeScratch is BoundaryNode using s for all temporary storage.
+	BoundaryNodeScratch(net *wsn.Network, i int, s *Scratch) bool
 }
 
 // AngularGap is a localized boundary detector. A node with fewer than three
@@ -56,11 +77,13 @@ type AngularGap struct {
 	Threshold float64
 }
 
-// Boundary implements Detector.
+// Boundary implements Detector. One Scratch serves the whole scan, so the
+// only allocation is the result slice itself.
 func (d AngularGap) Boundary(net *wsn.Network) []bool {
 	out := make([]bool, net.Len())
+	var s Scratch
 	for i := 0; i < net.Len(); i++ {
-		out[i] = d.BoundaryNode(net, i)
+		out[i] = d.BoundaryNodeScratch(net, i, &s)
 	}
 	return out
 }
@@ -69,31 +92,40 @@ func (d AngularGap) Boundary(net *wsn.Network) []bool {
 // one-hop neighbors' positions (all within γ of node i), so it satisfies the
 // locality contract.
 func (d AngularGap) BoundaryNode(net *wsn.Network, i int) bool {
+	var s Scratch
+	return d.BoundaryNodeScratch(net, i, &s)
+}
+
+// BoundaryNodeScratch implements PerNodeScratch: BoundaryNode with all
+// temporaries in s, allocation-free once s has grown to the neighborhood
+// size.
+func (d AngularGap) BoundaryNodeScratch(net *wsn.Network, i int, s *Scratch) bool {
 	thr := d.Threshold
 	if thr == 0 {
 		thr = 2 * math.Pi / 3
 	}
-	return d.isBoundary(net, i, thr)
+	return d.isBoundary(net, i, thr, s)
 }
 
-func (d AngularGap) isBoundary(net *wsn.Network, i int, thr float64) bool {
-	nbrs := net.OneHop(i)
-	if len(nbrs) < 3 {
+func (d AngularGap) isBoundary(net *wsn.Network, i int, thr float64, s *Scratch) bool {
+	s.nbrs = net.NeighborsWithinBuf(i, net.Gamma(), s.nbrs)
+	if len(s.nbrs) < 3 {
 		return true
 	}
 	p := net.Position(i)
-	angles := make([]float64, 0, len(nbrs))
-	for _, j := range nbrs {
+	angles := s.angles[:0]
+	for _, j := range s.nbrs {
 		q := net.Position(j)
 		if q.Dist2(p) < geom.Eps*geom.Eps {
 			continue // coincident neighbor has no bearing
 		}
 		angles = append(angles, q.Sub(p).Angle())
 	}
+	s.angles = angles
 	if len(angles) < 3 {
 		return true
 	}
-	sort.Float64s(angles)
+	slices.Sort(angles)
 	maxGap := 2*math.Pi - (angles[len(angles)-1] - angles[0]) // wrap-around gap
 	for i := 1; i < len(angles); i++ {
 		if g := angles[i] - angles[i-1]; g > maxGap {

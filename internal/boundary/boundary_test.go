@@ -81,6 +81,44 @@ func TestAngularGapThreshold(t *testing.T) {
 	}
 }
 
+// The scratch variant must agree with the plain per-node evaluation on every
+// node, including the degenerate low-degree and coincident cases.
+func TestBoundaryNodeScratchMatchesPlain(t *testing.T) {
+	pts := wsn.HexLattice(9, 9, 1)
+	pts = append(pts, geom.Pt(0, 0), geom.Pt(50, 50)) // coincident + isolated
+	net := wsn.New(pts, 1.1)
+	d := AngularGap{}
+	var s Scratch
+	for i := 0; i < net.Len(); i++ {
+		if got, want := d.BoundaryNodeScratch(net, i, &s), d.BoundaryNode(net, i); got != want {
+			t.Errorf("node %d: scratch says %v, plain says %v", i, got, want)
+		}
+	}
+}
+
+// The boundary path is allocation-free through a warmed Scratch — the
+// contract the engine's per-round flag repairs rely on.
+func TestBoundaryNodeScratchZeroAllocs(t *testing.T) {
+	pts := wsn.HexLattice(10, 10, 1)
+	net := wsn.New(pts, 1.1)
+	net.Rebuild()
+	d := AngularGap{}
+	center := wsn.CenterIndex(pts)
+	var s Scratch
+	d.BoundaryNodeScratch(net, center, &s) // warm the buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		if d.BoundaryNodeScratch(net, center, &s) {
+			t.Fatal("lattice center misclassified as boundary")
+		}
+		if !d.BoundaryNodeScratch(net, 0, &s) {
+			t.Fatal("lattice corner misclassified as interior")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("BoundaryNodeScratch allocates %v per run, want 0", allocs)
+	}
+}
+
 func TestHullDetector(t *testing.T) {
 	pts := wsn.SquareLattice(5, 5, 1)
 	net := wsn.New(pts, 1.5)

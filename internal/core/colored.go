@@ -24,11 +24,15 @@ import (
 //
 // Correctness therefore never depends on the interference prediction: a
 // mispredicted class member is just a wasted speculation, dropped by the
-// same machinery that drops stale cross-round entries (Localized waste also
-// refunds its recorded message cost, see dropEntry). An entry that survives
-// to its node's turn is bit-identical to what the serial sweep would compute
-// there — every position its search read is unchanged since it ran — so the
-// colored schedule's fixed point, trace and message accounting equal the
+// same machinery that drops stale cross-round entries. A Localized
+// speculation runs its search with every charge deferred into the node's wsn
+// escrow, so waste is simply voided (see dropEntry) — the public counters
+// never saw the cost, and no refund exists anywhere in the system. An entry
+// that survives to its node's turn is bit-identical to what the serial sweep
+// would compute there — every position its search read is unchanged since it
+// ran — so consuming it commits the escrow at exactly the instant the eager
+// sweep would have charged: the colored schedule's fixed point, trace and
+// message accounting (including any mid-round Stats snapshot) equal the
 // one-worker sweep's exactly, for any worker count.
 
 const (

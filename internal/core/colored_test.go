@@ -137,8 +137,9 @@ func TestWaveClassPairwiseIndependent(t *testing.T) {
 
 // The perf mechanism must actually engage and pay off: in the few-movers
 // regime the waves precompute the dirty set and the serial loop consumes
-// almost all of it; every speculated entry is either consumed or refunded
-// (the accounting identity the Localized message faithfulness rests on).
+// almost all of it; every speculated entry is either consumed (escrow
+// committed) or voided — the accounting identity the Localized message
+// faithfulness rests on.
 func TestSequentialSpeculationEngages(t *testing.T) {
 	n := 2500
 	start, pitch := wsn.UnitLattice(n, 16)
@@ -174,8 +175,9 @@ func TestSequentialSpeculationEngages(t *testing.T) {
 // speculation + validation instead of ignoring the knob.)
 func TestSequentialMessageAccountingUnderWaves(t *testing.T) {
 	// Localized + Sequential + waves is the hardest cell: speculative ring
-	// searches charge eagerly and refund on invalidation, so Messages must
-	// come out exactly equal to the serial sweep's, per round and in total.
+	// searches charge into escrow and only commit when consumed, so Messages
+	// must come out exactly equal to the serial sweep's, per round and in
+	// total.
 	reg := region.UnitSquareKm()
 	start := region.PlaceUniform(reg, 80, rand.New(rand.NewSource(41)))
 	cfg := DefaultConfig(2)

@@ -153,14 +153,32 @@ type Engine struct {
 	waveMark         []uint8
 	waveKeep         []bool
 	waveHook         func(selected []int)
+	// commitHook, when set (tests), runs after every node's turn of a
+	// Sequential sweep completes — the mid-round observation point at which
+	// externally visible accounting must be exact and monotone.
+	commitHook func(i int)
 
-	// perNode is the detector downcast to its per-node-local refinement, if
-	// it has one; lazyDet marks rounds that evaluate boundary flags lazily
-	// (cached Localized rounds with a PerNode detector — flags are then only
-	// computed for nodes being recomputed, since "ball unchanged ⇒ flag
-	// unchanged" holds by the PerNode locality contract).
-	perNode boundary.PerNode
-	lazyDet bool
+	// Incremental boundary flags (Localized mode with a PerNode detector and
+	// the cache on): flagVals holds each node's flag as of the start of the
+	// current round, flagValid marks entries whose γ-ball is provably
+	// untouched since they were computed ("ball unchanged ⇒ flag unchanged",
+	// the PerNode locality contract), and flagDirty lists the invalid ones so
+	// the per-round repair pass touches only what a move disturbed — never
+	// O(n). flagsLive marks rounds the cache is serving; flagScratch and
+	// flagPool keep the repair evaluations allocation-free (serial and
+	// parallel respectively).
+	flagVals    []bool
+	flagValid   []bool
+	flagDirty   []int
+	flagsLive   bool
+	flagScratch boundary.Scratch
+	flagPool    []*boundary.Scratch
+
+	// statsEpoch mirrors wsn.Network.StatsEpoch: an out-of-band ResetStats
+	// zeroes counters the cache's recorded costs and the per-round message
+	// baseline were measured against, so the engine flushes and re-bases when
+	// the epochs diverge.
+	statsEpoch uint64
 
 	// Out-of-band write localization: a snapshot of the grid's per-cell
 	// mutation versions from the last time the cache was known in sync.
@@ -213,10 +231,15 @@ type CacheCounters struct {
 	// Waves, SpecComputed, SpecUsed and SpecWasted describe the colored
 	// Sequential sweep: parallel speculation waves planned, entries computed
 	// by them, entries consumed at their node's turn, and entries that a
-	// committed move invalidated before use (wasted work; Localized wasted
-	// speculations also refund their recorded message cost, keeping the
-	// accounting exact).
+	// committed move invalidated before use (wasted work; a Localized wasted
+	// speculation voids its escrowed message cost, which the public counters
+	// never saw — see wsn.BeginEscrow).
 	Waves, SpecComputed, SpecUsed, SpecWasted uint64
+	// FlagEvals counts per-node boundary-flag evaluations performed by the
+	// incremental flag cache (Localized mode, PerNode detectors). Converged
+	// steady-state rounds perform none — the counter-asserted contract that
+	// boundary detection is no longer an O(n)-per-round term.
+	FlagEvals uint64
 	// LocalFlushes counts out-of-band position writes absorbed by the
 	// per-cell version diff instead of a wholesale cache flush.
 	LocalFlushes uint64
@@ -243,7 +266,8 @@ func (c CacheCounters) invalidationCounters() CacheCounters {
 // carry the recorded message cost of the search that produced the outcome
 // (re-charged on every reuse) and the boundary flag it was computed under;
 // spec marks an entry written by a speculation wave this round, whose cost
-// is already charged and must be refunded if the entry dies before use.
+// sits in the node's wsn escrow — committed when the serial loop consumes
+// the entry, voided if it dies first, so public counters never go backwards.
 type nodeCache struct {
 	valid    bool
 	spec     bool
@@ -417,19 +441,22 @@ func (e *Engine) finishMove(ui, ci geom.Point, out *nodeOutcome) {
 // outcome must cost exactly what re-running the search would have, or
 // Result.Messages stops being faithful to the protocol. The exception is an
 // entry speculated earlier this same round (spec): its search already ran
-// and charged, so consuming it charges nothing more. A Localized hit also
-// requires the boundary flag the entry was computed under to still hold;
-// with a lazy (PerNode) detector that check is free — ball unchanged implies
-// flag unchanged by the locality contract — while global detectors compare
-// against the freshly computed flag array.
+// with its charges deferred into the node's escrow, so consuming it commits
+// the escrow — the instant the eager serial sweep would have charged. A
+// Localized hit also requires the boundary flag the entry was computed under
+// to still hold; under the incremental flag cache that comparison always
+// passes for a valid entry — the entry's ρ-ball covers the γ-ball (ρ ≥ γ),
+// so a valid entry implies an unchanged flag — while global detectors
+// compare against the freshly computed round array.
 func (e *Engine) stepNodeAny(i, round int, isBoundary []bool, s *Scratch, cacheOn bool) nodeOutcome {
 	if e.cfg.Mode == Localized {
 		if cacheOn {
-			if c := &e.cache[i]; c.valid && (e.lazyDet || c.boundary == isBoundary[i]) {
+			if c := &e.cache[i]; c.valid && c.boundary == isBoundary[i] {
 				e.hits.Add(1)
 				if c.spec {
 					c.spec = false
 					e.counters.SpecUsed++
+					e.net.CommitEscrow(i)
 				} else if c.cost != 0 {
 					e.net.Charge(i, c.cost)
 				}
@@ -460,16 +487,28 @@ func (e *Engine) stepNodeAny(i, round int, isBoundary []bool, s *Scratch, cacheO
 // installs it as a cache entry (speculative when spec is set — the colored
 // sweep's waves write through here from worker goroutines; entry i is only
 // ever written by the worker owning i, so no locking). Localized entries
-// measure the search's link-level cost by diffing the node's own message
-// counter around the computation — every charge of an expanding-ring search
-// is attributed to the searching node, so the diff is exact even while other
-// workers charge their own searches concurrently.
+// measure the search's link-level cost: a serial computation diffs the
+// node's own message counter around the search — every charge of an
+// expanding-ring search is attributed to the searching node, so the diff is
+// exact even while other workers charge their own searches concurrently — a
+// speculative one instead runs the search inside the node's wsn escrow, so
+// the cost is measured without ever reaching the public counters: an
+// external Stats read mid-wave sees only committed work, exact and monotone.
 func (e *Engine) computeEntry(i, round int, isBoundary []bool, s *Scratch, spec bool) nodeOutcome {
 	if e.cfg.Mode == Localized {
-		b := e.boundaryFlag(i, isBoundary)
-		before := e.net.NodeMessages(i)
-		out, inv := e.stepNodeLocalized(i, b, e.lossRNG(round, i), s)
-		cost := e.net.NodeMessages(i) - before
+		b := isBoundary[i]
+		var out nodeOutcome
+		var inv float64
+		var cost int64
+		if spec {
+			e.net.BeginEscrow(i)
+			out, inv = e.stepNodeLocalized(i, b, e.lossRNG(round, i), s)
+			cost = e.net.EndEscrow(i)
+		} else {
+			before := e.net.NodeMessages(i)
+			out, inv = e.stepNodeLocalized(i, b, e.lossRNG(round, i), s)
+			cost = e.net.NodeMessages(i) - before
+		}
 		e.cache[i] = nodeCache{valid: true, spec: spec, boundary: b, rho: inv, cost: cost, out: out}
 		e.rhoHint[i] = inv
 		return out
@@ -478,20 +517,6 @@ func (e *Engine) computeEntry(i, round int, isBoundary []bool, s *Scratch, spec 
 	e.cache[i] = nodeCache{valid: true, spec: spec, rho: rho, out: out}
 	e.rhoHint[i] = rho
 	return out
-}
-
-// boundaryFlag returns node i's boundary flag for this round: from the
-// precomputed array when one exists, lazily from the per-node detector
-// otherwise (cached Localized rounds compute flags only for recomputed
-// nodes).
-func (e *Engine) boundaryFlag(i int, isBoundary []bool) bool {
-	if isBoundary != nil {
-		return isBoundary[i]
-	}
-	if e.perNode != nil {
-		return e.perNode.BoundaryNode(e.net, i)
-	}
-	return false
 }
 
 // cacheEnabled reports whether the dirty-set cache applies. Centralized mode
@@ -537,28 +562,119 @@ func (e *Engine) ensurePool(workers int) {
 	}
 }
 
-// flushCache invalidates every cache entry and re-syncs with the network's
-// mutation counter. It runs only between rounds, when no speculative entry
-// can exist (waves live and die within one sweep), so no refunds are due.
+// repairFlags brings the incremental boundary-flag cache up to date with the
+// current (start-of-round) positions and returns the full flag array. Only
+// nodes on the dirty list — those whose γ-ball a move endpoint, an external
+// write, or a flush touched — are re-evaluated, so a converged round repairs
+// nothing and a few-movers round repairs O(disturbed), never O(n). A large
+// dirty set (first round, topology change) fans the evaluations out across
+// the worker pool; each evaluation reads only start-of-round positions, so
+// the result is independent of worker count and evaluation order.
+func (e *Engine) repairFlags(pn boundary.PerNode, n int) []bool {
+	if len(e.flagVals) != n {
+		// Node count changed (or first use): the indices belong to another
+		// numbering, so every flag is re-evaluated.
+		e.flagVals = make([]bool, n)
+		e.flagValid = make([]bool, n)
+		e.flagDirty = e.flagDirty[:0]
+		for i := 0; i < n; i++ {
+			e.flagDirty = append(e.flagDirty, i)
+		}
+	}
+	dirty := e.flagDirty
+	if len(dirty) == 0 {
+		return e.flagVals
+	}
+	e.net.Rebuild()
+	scratched, scratchOK := pn.(boundary.PerNodeScratch)
+	if workers := parallel.Workers(e.cfg.Workers); scratchOK && workers > 1 && len(dirty) >= 256 {
+		for len(e.flagPool) < workers {
+			e.flagPool = append(e.flagPool, &boundary.Scratch{})
+		}
+		parallel.ForWorker(len(dirty), workers, func(w, idx int) {
+			i := dirty[idx]
+			e.flagVals[i] = scratched.BoundaryNodeScratch(e.net, i, e.flagPool[w])
+			e.flagValid[i] = true
+		})
+	} else {
+		for _, i := range dirty {
+			if scratchOK {
+				e.flagVals[i] = scratched.BoundaryNodeScratch(e.net, i, &e.flagScratch)
+			} else {
+				e.flagVals[i] = pn.BoundaryNode(e.net, i)
+			}
+			e.flagValid[i] = true
+		}
+	}
+	e.counters.FlagEvals += uint64(len(dirty))
+	e.flagDirty = e.flagDirty[:0]
+	return e.flagVals
+}
+
+// markFlagsNear invalidates every cached boundary flag whose γ-ball,
+// inflated by slack, contains p — the flag-cache analogue of invalidateNear,
+// run for both endpoints of every move (a neighbor entering the ball changes
+// the flag input by its new position, one leaving it by its old one; the
+// mover itself is always within distance zero of its own new endpoint). The
+// invalidation radius is exactly the PerNode locality contract's γ, so a
+// flag left valid provably has an unchanged input set.
+func (e *Engine) markFlagsNear(p geom.Point, slack float64) {
+	if len(e.flagVals) != e.net.Len() {
+		return // no live flag cache (or stale numbering; repair resets it)
+	}
+	r := e.net.Gamma() + slack
+	r2 := r * r
+	if 2*e.net.CellWindowSize(r) >= len(e.flagVals) {
+		// Degenerate geometry: the window covers the grid, scan densely.
+		for j := range e.flagVals {
+			if e.flagValid[j] && e.net.Position(j).Dist2(p) <= r2 {
+				e.flagValid[j] = false
+				e.flagDirty = append(e.flagDirty, j)
+			}
+		}
+		return
+	}
+	e.net.VisitCellsWithin(p, r, func(ci int) {
+		if e.net.CellDist2(ci, p) > r2 {
+			return
+		}
+		for _, j := range e.net.CellNodes(ci) {
+			if e.flagValid[j] && e.net.Position(int(j)).Dist2(p) <= r2 {
+				e.flagValid[j] = false
+				e.flagDirty = append(e.flagDirty, int(j))
+			}
+		}
+	})
+}
+
+// flushCache invalidates every cache entry (and every cached boundary flag)
+// and re-syncs with the network's mutation counter. It runs only between
+// rounds, when no speculative entry can exist (waves live and die within one
+// sweep), so no escrow is outstanding.
 func (e *Engine) flushCache() {
 	for i := range e.cache {
 		e.cache[i].valid = false
+	}
+	for i := range e.flagValid {
+		if e.flagValid[i] {
+			e.flagValid[i] = false
+			e.flagDirty = append(e.flagDirty, i)
+		}
 	}
 	e.cacheVer = e.net.Version()
 }
 
 // dropEntry invalidates node j's cache entry. An unconsumed speculative
-// entry dying here means its search ran for nothing: the recorded message
-// cost is refunded so the round's accounting nets out to exactly what the
-// serial sweep would have charged.
+// entry dying here means its search ran for nothing: its escrowed message
+// cost is voided — the public counters never saw it, so the round's visible
+// accounting is exactly what the eager serial sweep would have charged, at
+// every instant, with no refund ever needed.
 func (e *Engine) dropEntry(j int) {
 	c := &e.cache[j]
 	if c.spec {
 		c.spec = false
 		e.counters.SpecWasted++
-		if c.cost != 0 {
-			e.net.Charge(j, -c.cost)
-		}
+		e.net.VoidEscrow(j)
 	}
 	c.valid = false
 }
@@ -720,6 +836,7 @@ func (e *Engine) localFlush() bool {
 	for _, ci := range changed {
 		center, slack := e.net.CellCenter(ci)
 		e.invalidateNear(center, slack)
+		e.markFlagsNear(center, slack)
 		e.cellSnap[ci] = e.net.CellVersionAt(ci)
 	}
 	e.cacheVer = e.net.Version()
@@ -764,6 +881,19 @@ func (e *Engine) Step() (RoundStats, bool) {
 	}
 	e.ensureBuffers(n)
 	cacheOn := e.cacheEnabled()
+	if ep := e.net.StatsEpoch(); ep != e.statsEpoch {
+		// An out-of-band ResetStats zeroed the counters this engine's
+		// accounting state was measured against. Re-base the per-round
+		// message baseline (or the first post-reset round would report a
+		// negative count), and in Localized mode drop the cached recorded
+		// costs: the eager protocol would re-run every search after a reset,
+		// so the cached engine recomputes and re-measures too.
+		e.statsEpoch = ep
+		e.prevMsgs = e.net.MessageCount()
+		if cacheOn && e.cfg.Mode == Localized {
+			e.flushCache()
+		}
+	}
 	if cacheOn && e.cacheVer != e.net.Version() {
 		// Positions were written behind the engine's back (direct Network
 		// mutation, resume restore). When the per-cell version diff can
@@ -776,19 +906,20 @@ func (e *Engine) Step() (RoundStats, bool) {
 	}
 	sequential := e.cfg.Order == Sequential
 	var isBoundary []bool
-	e.lazyDet = false
+	e.flagsLive = false
 	if e.cfg.Mode == Localized {
-		if pn, ok := e.detector.(boundary.PerNode); ok && cacheOn && !sequential {
-			// Per-node-local detector + cache: flags are evaluated lazily,
-			// only for nodes being recomputed — a valid entry's one-hop ball
-			// is unchanged, so its flag is too (the PerNode contract). A
-			// Synchronous fan-out reads round-start positions, so the lazy
-			// flag equals the eager round-start array entry; a Sequential
-			// sweep mutates positions mid-round, where a lazy evaluation
-			// would see a different state than the eager engine's
-			// start-of-round pass — so Sequential always precomputes.
-			e.perNode = pn
-			e.lazyDet = true
+		if pn, ok := e.detector.(boundary.PerNode); ok && cacheOn {
+			// Per-node-local detector + cache: serve this round's flags from
+			// the incremental cache, re-evaluating only nodes whose γ-ball a
+			// move (or out-of-band write) touched since their flag was last
+			// computed — "ball unchanged ⇒ flag unchanged" is the PerNode
+			// locality contract. The repaired array holds start-of-round
+			// truth for every node, which is exactly what the eager engine's
+			// wholesale Boundary pass would produce: a Sequential sweep's
+			// mid-round recomputes read the same start-of-round flags in
+			// both engines, so trajectories and accounting stay bit-equal.
+			isBoundary = e.repairFlags(pn, n)
+			e.flagsLive = true
 		} else {
 			isBoundary = e.detector.Boundary(e.net)
 		}
@@ -828,7 +959,17 @@ func (e *Engine) Step() (RoundStats, bool) {
 				if cacheOn {
 					e.invalidateAround(i, ui, outs[i].next)
 				}
+				if e.flagsLive {
+					// Flags whose γ-ball either endpoint disturbs repair at
+					// the start of the next round; the values this sweep is
+					// reading stay frozen at start-of-round truth.
+					e.markFlagsNear(ui, 0)
+					e.markFlagsNear(outs[i].next, 0)
+				}
 				e.cacheVer = e.net.Version()
+			}
+			if e.commitHook != nil {
+				e.commitHook(i)
 			}
 		}
 	} else {
@@ -895,6 +1036,12 @@ func (e *Engine) Step() (RoundStats, bool) {
 		}
 		if cacheOn {
 			e.invalidateMoved()
+		}
+		if e.flagsLive {
+			for _, m := range e.movedBuf {
+				e.markFlagsNear(m.old, 0)
+				e.markFlagsNear(m.new, 0)
+			}
 		}
 		e.cacheVer = e.net.Version()
 	}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCounterAndGaugeRoundTrip(t *testing.T) {
+	var r Registry
+	c := r.Counter("engine.rounds")
+	c.Set(4)
+	c.Add(1)
+	var live atomic.Int64
+	live.Store(42)
+	r.Gauge("wsn.messages", live.Load)
+
+	snap := r.Snapshot()
+	if snap["engine.rounds"] != 5 {
+		t.Errorf("counter = %d, want 5", snap["engine.rounds"])
+	}
+	if snap["wsn.messages"] != 42 {
+		t.Errorf("gauge = %d, want 42", snap["wsn.messages"])
+	}
+	live.Store(43)
+	if got := r.Snapshot()["wsn.messages"]; got != 43 {
+		t.Errorf("gauge is not read-time: %d, want 43", got)
+	}
+	// Counter registration is idempotent: same cell back.
+	if r.Counter("engine.rounds") != c {
+		t.Error("re-registering a counter returned a different cell")
+	}
+}
+
+func TestKindCollisionPanics(t *testing.T) {
+	var r Registry
+	r.Counter("x")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Gauge over an existing counter must panic")
+			}
+		}()
+		r.Gauge("x", func() int64 { return 0 })
+	}()
+	r.Gauge("y", func() int64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Error("Counter over an existing gauge must panic")
+		}
+	}()
+	r.Counter("y")
+}
+
+func TestWriteJSONSortedAndValid(t *testing.T) {
+	var r Registry
+	r.Counter("b.two").Set(2)
+	r.Counter("a.one").Set(1)
+	r.Gauge("c.three", func() int64 { return 3 })
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var decoded map[string]int64
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, out)
+	}
+	want := map[string]int64{"a.one": 1, "b.two": 2, "c.three": 3}
+	for k, v := range want {
+		if decoded[k] != v {
+			t.Errorf("%s = %d, want %d", k, decoded[k], v)
+		}
+	}
+	if i, j := strings.Index(out, "a.one"), strings.Index(out, "b.two"); i > j {
+		t.Error("keys not sorted")
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	var r Registry
+	r.Counter("hits").Set(7)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var decoded map[string]int64
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("body not JSON: %v", err)
+	}
+	if decoded["hits"] != 7 {
+		t.Errorf("hits = %d, want 7", decoded["hits"])
+	}
+}
+
+// Registration, publication and snapshots from many goroutines must be
+// race-free (run under -race in CI).
+func TestConcurrentUse(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			for i := 0; i < 500; i++ {
+				c.Add(1)
+				r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Load(); got != 2000 {
+		t.Errorf("shared = %d, want 2000", got)
+	}
+}

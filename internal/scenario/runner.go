@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"laacad/internal/core"
+	"laacad/internal/metrics"
 	"laacad/internal/sim"
 	"laacad/internal/snapshot"
 )
@@ -47,6 +48,7 @@ type options struct {
 	maxRounds     *int
 	snapshotEvery int
 	snapshotSink  func(*snapshot.State) error
+	metrics       *metrics.Registry
 }
 
 // Option customizes how a scenario is run.
@@ -241,13 +243,20 @@ func Resume(ctx context.Context, st *snapshot.State, opts ...Option) (*core.Resu
 	return r.Run(ctx)
 }
 
-// attach composes the checkpoint sink and the user observer into the
-// engine-level per-round callback.
+// attach composes the metrics publisher, the checkpoint sink and the user
+// observer into the engine-level per-round callback.
 func attach(r *labeledRunner, o *options) {
-	if o.observer == nil && o.snapshotSink == nil {
+	var publish func(core.RoundStats)
+	if o.metrics != nil {
+		publish = instrument(r, o.metrics)
+	}
+	if o.observer == nil && o.snapshotSink == nil && publish == nil {
 		return
 	}
 	r.SetObserver(func(st core.RoundStats) error {
+		if publish != nil {
+			publish(st)
+		}
 		if o.snapshotSink != nil && o.snapshotEvery > 0 && st.Round > 0 && st.Round%o.snapshotEvery == 0 {
 			snap, err := r.Snapshot()
 			if err != nil {

@@ -38,6 +38,20 @@ type Network struct {
 	msgs   atomic.Int64
 	byNode []atomic.Int64
 
+	// Deferred-charge escrow (see BeginEscrow): while deferred[i] is set,
+	// charges to node i accumulate in escrow[i] instead of the public
+	// counters, and escrowed tracks the total held back. statsEpoch counts
+	// ResetStats calls so consumers holding derived accounting state (the
+	// engine's recorded-cost cache) can detect a reset and re-base.
+	escrow     []atomic.Int64
+	deferred   []atomic.Bool
+	escrowed   atomic.Int64
+	statsEpoch atomic.Uint64
+
+	// detached accumulates the message totals of removed nodes, so Stats can
+	// keep Messages == Detached + sum(ByNode) exact across topology changes.
+	detached atomic.Int64
+
 	// Incremental spatial index over node positions (see gridIndex). A
 	// single-node move updates the two touched cell buckets in place; only
 	// bulk rewrites (SetPositions), node-count changes and moves that leave
@@ -66,9 +80,13 @@ type Network struct {
 }
 
 // Stats accumulates communication cost. Messages counts link-level
-// transmissions (each hop of each unicast/broadcast counts once).
+// transmissions (each hop of each unicast/broadcast counts once). Detached
+// carries the totals of nodes since removed (RemoveNode keeps totals but has
+// no row to attribute them to); Messages == Detached + sum(ByNode) holds for
+// every snapshot, even one taken mid-charge.
 type Stats struct {
 	Messages int64
+	Detached int64
 	ByNode   []int64
 }
 
@@ -79,9 +97,11 @@ func New(pos []geom.Point, gamma float64) *Network {
 		panic(fmt.Sprintf("wsn: transmission range must be positive, got %v", gamma))
 	}
 	n := &Network{
-		pos:    append([]geom.Point(nil), pos...),
-		gamma:  gamma,
-		byNode: make([]atomic.Int64, len(pos)),
+		pos:      append([]geom.Point(nil), pos...),
+		gamma:    gamma,
+		byNode:   make([]atomic.Int64, len(pos)),
+		escrow:   make([]atomic.Int64, len(pos)),
+		deferred: make([]atomic.Bool, len(pos)),
 	}
 	n.dirty.Store(true)
 	return n
@@ -142,6 +162,8 @@ func (n *Network) AddNode(p geom.Point) int {
 	id := len(n.pos)
 	n.pos = append(n.pos, p)
 	n.byNode = resizeCounters(n.byNode, len(n.pos), len(n.pos))
+	n.escrow = resizeCounters(n.escrow, len(n.pos), len(n.pos))
+	n.deferred = make([]atomic.Bool, len(n.pos)) // escrow is empty between mutations
 	n.version.Add(1)
 	if !n.dirty.Load() {
 		if n.idx.add(p) {
@@ -163,6 +185,7 @@ func (n *Network) RemoveNode(i int) {
 		panic(fmt.Sprintf("wsn: RemoveNode index %d out of range [0,%d)", i, len(n.pos)))
 	}
 	n.pos = append(n.pos[:i], n.pos[i+1:]...)
+	n.detached.Add(n.byNode[i].Load())
 	byNode := make([]atomic.Int64, len(n.pos))
 	for j := range byNode {
 		src := j
@@ -172,6 +195,8 @@ func (n *Network) RemoveNode(i int) {
 		byNode[j].Store(n.byNode[src].Load())
 	}
 	n.byNode = byNode
+	n.escrow = make([]atomic.Int64, len(n.pos))
+	n.deferred = make([]atomic.Bool, len(n.pos))
 	n.markDirty()
 }
 
@@ -229,32 +254,109 @@ func (n *Network) MessageCount() int64 { return n.msgs.Load() }
 // it around the computation without materializing Stats.
 func (n *Network) NodeMessages(i int) int64 { return n.byNode[i].Load() }
 
-// Stats returns a snapshot of the accumulated communication statistics.
+// Stats returns a snapshot of the accumulated communication statistics. The
+// snapshot is self-consistent: Messages is computed as Detached plus the sum
+// of the ByNode values it carries, so `Messages == Detached + sum(ByNode)`
+// holds even when charges land concurrently with the read (the snapshot can
+// differ from MessageCount by whatever charged mid-read; they agree again at
+// quiescence).
 func (n *Network) Stats() Stats {
 	s := Stats{
-		Messages: n.msgs.Load(),
+		Detached: n.detached.Load(),
 		ByNode:   make([]int64, len(n.byNode)),
 	}
+	s.Messages = s.Detached
 	for i := range n.byNode {
-		s.ByNode[i] = n.byNode[i].Load()
+		v := n.byNode[i].Load()
+		s.ByNode[i] = v
+		s.Messages += v
 	}
 	return s
 }
 
-// ResetStats zeroes the communication counters.
+// ResetStats zeroes the communication counters, drops any escrowed charges,
+// and advances the stats epoch (see StatsEpoch).
 func (n *Network) ResetStats() {
 	n.msgs.Store(0)
 	for i := range n.byNode {
 		n.byNode[i].Store(0)
 	}
+	for i := range n.escrow {
+		n.escrow[i].Store(0)
+	}
+	n.escrowed.Store(0)
+	n.detached.Store(0)
+	n.statsEpoch.Add(1)
 }
 
+// StatsEpoch returns how many times ResetStats has run. Consumers holding
+// accounting state derived from the counters — the round engine's cache of
+// recorded search costs — compare epochs to detect an out-of-band reset and
+// re-base rather than re-charge stale costs against the zeroed counters.
+func (n *Network) StatsEpoch() uint64 { return n.statsEpoch.Load() }
+
 // Charge records m link-level transmissions attributed to node i. It is safe
-// for concurrent use.
+// for concurrent use. While node i is in escrow (BeginEscrow), the charge
+// accumulates privately instead of moving the public counters.
 func (n *Network) Charge(i int, m int64) {
+	if n.deferred[i].Load() {
+		n.escrow[i].Add(m)
+		n.escrowed.Add(m)
+		return
+	}
 	n.msgs.Add(m)
 	n.byNode[i].Add(m)
 }
+
+// BeginEscrow opens node i's deferred-charge escrow: until EndEscrow,
+// charges attributed to i accumulate in a private escrow account invisible
+// to MessageCount/Stats/NodeMessages. The speculation machinery wraps each
+// speculative expanding-ring search in an escrow so externally visible
+// counters stay exact and monotone at every instant — a wave that dies voids
+// its escrow instead of refunding published charges. Only node i's own
+// charge path is redirected; it must not race with i's Commit/VoidEscrow.
+func (n *Network) BeginEscrow(i int) {
+	if n.escrow[i].Load() != 0 {
+		panic(fmt.Sprintf("wsn: BeginEscrow(%d) with unresolved escrow", i))
+	}
+	n.deferred[i].Store(true)
+}
+
+// EndEscrow closes node i's escrow and returns the balance accumulated while
+// it was open. The balance stays held back until CommitEscrow publishes it
+// or VoidEscrow discards it.
+func (n *Network) EndEscrow(i int) int64 {
+	n.deferred[i].Store(false)
+	return n.escrow[i].Load()
+}
+
+// CommitEscrow publishes node i's escrowed charges to the public counters in
+// one step and returns the amount committed.
+func (n *Network) CommitEscrow(i int) int64 {
+	m := n.escrow[i].Swap(0)
+	if m != 0 {
+		n.escrowed.Add(-m)
+		n.msgs.Add(m)
+		n.byNode[i].Add(m)
+	}
+	return m
+}
+
+// VoidEscrow discards node i's escrowed charges — the fate of a speculative
+// computation whose wave died — and returns the amount dropped. The public
+// counters never saw the charges, so no refund happens anywhere.
+func (n *Network) VoidEscrow(i int) int64 {
+	m := n.escrow[i].Swap(0)
+	if m != 0 {
+		n.escrowed.Add(-m)
+	}
+	return m
+}
+
+// EscrowDepth returns the total charges currently held in escrow across all
+// nodes — a live gauge of in-flight speculation; zero whenever no wave is in
+// progress.
+func (n *Network) EscrowDepth() int64 { return n.escrowed.Load() }
 
 // Rebuild brings the spatial index up to date with the current positions if
 // a full rebuild is pending (bulk write, node-count change, or a move that

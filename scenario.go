@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"laacad/internal/core"
+	"laacad/internal/metrics"
 	"laacad/internal/scenario"
 	"laacad/internal/snapshot"
 )
@@ -104,6 +105,23 @@ func WithMaxRounds(n int) RunOption { return scenario.WithMaxRounds(n) }
 func WithSnapshotEvery(every int, sink func(*Checkpoint) error) RunOption {
 	return scenario.WithSnapshotEvery(every, sink)
 }
+
+// MetricsRegistry is a set of named int64 metrics — live gauges over the
+// WSN's concurrency-safe counters plus per-round snapshots of the engine's
+// cumulative work counters. It implements http.Handler (a flat JSON object
+// with sorted keys), so exposing a live run is one line:
+//
+//	var reg laacad.MetricsRegistry
+//	go http.ListenAndServe(addr, &reg)
+//	res, err := laacad.Run(ctx, sc, laacad.WithMetrics(&reg))
+type MetricsRegistry = metrics.Registry
+
+// WithMetrics publishes the run's observability surface into reg: live
+// gauges ("wsn.messages", "wsn.escrow_depth") that are exact and monotone
+// even when sampled mid-round, and per-round counters ("engine.*",
+// "cache.*", "spec.*", "flags.evals", "wsn.rebuilds",
+// "wsn.incremental_moves") published after every completed round.
+func WithMetrics(reg *MetricsRegistry) RunOption { return scenario.WithMetrics(reg) }
 
 // EngineOf unwraps the synchronous round engine behind a Runner, when the
 // Runner is one — the handle for AddNode/RemoveNode failure injection from
