@@ -29,6 +29,7 @@ import (
 	"laacad"
 
 	"laacad/internal/asciiplot"
+	metricshttp "laacad/internal/metrics"
 	"laacad/internal/snapshot"
 )
 
@@ -81,7 +82,7 @@ func run(args []string) error {
 	var opts []laacad.RunOption
 	if *metrics != "" {
 		reg := &laacad.MetricsRegistry{}
-		addr, shutdown, err := serveMetrics(*metrics, reg)
+		addr, shutdown, err := metricshttp.ListenAndServe(*metrics, metricshttp.Mux(reg))
 		if err != nil {
 			return err
 		}

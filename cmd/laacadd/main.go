@@ -1,0 +1,290 @@
+// Command laacadd is the LAACAD deployment daemon and its client.
+//
+// The daemon owns a durable job queue and a bounded pool of concurrent
+// deployment runs: submit Scenarios over HTTP, watch per-round statistics
+// stream live, let higher-priority work preempt (checkpoint + requeue)
+// lower-priority runs, and restart the daemon without losing anything —
+// interrupted jobs resume bit-identically from their spooled checkpoints.
+//
+// Usage:
+//
+//	laacadd serve  -addr localhost:7600 -spool ./spool -pool 4
+//	laacadd submit -scenario corner -priority 5
+//	laacadd submit -file job.json            # a full JobSpec document
+//	laacadd status [job-000001]              # list all, or one job
+//	laacadd watch  job-000001                # follow the SSE round stream
+//	laacadd cancel job-000001
+//	laacadd result job-000001                # finished deployment as JSON
+//
+// Client subcommands read -addr (default localhost:7600) to find the
+// daemon. The daemon also serves GET /metrics with service counters
+// (jobs accepted/completed/preempted/..., queue depth, pool occupancy).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"laacad"
+
+	metricshttp "laacad/internal/metrics"
+	"laacad/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "laacadd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: laacadd <serve|submit|status|watch|cancel|result> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "serve":
+		return serveCmd(rest, out)
+	case "submit":
+		return submitCmd(rest, out)
+	case "status":
+		return statusCmd(rest, out)
+	case "watch":
+		return watchCmd(rest, out)
+	case "cancel":
+		return cancelCmd(rest, out)
+	case "result":
+		return resultCmd(rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want serve|submit|status|watch|cancel|result)", cmd)
+	}
+}
+
+// serveCmd runs the daemon until SIGINT/SIGTERM, then drains: every running
+// job is checkpointed and spooled so the next serve over the same spool
+// resumes it bit-identically.
+func serveCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("laacadd serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:7600", "HTTP listen address")
+	spool := fs.String("spool", "laacadd-spool", "durable job spool directory")
+	pool := fs.Int("pool", 0, "worker slots (concurrent runs); 0 = all CPUs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := service.New(service.Config{SpoolDir: *spool, Pool: *pool})
+	if err != nil {
+		return err
+	}
+	for _, warn := range srv.Warnings() {
+		fmt.Fprintln(out, "warning:", warn)
+	}
+	bound, shutdownHTTP, err := metricshttp.ListenAndServe(*addr, srv.Handler())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "laacadd serving at http://%s (spool %s, pool %d)\n", bound, *spool, *pool)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(out, "laacadd draining: checkpointing running jobs...")
+	shutdownHTTP()
+	drain, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drain); err != nil {
+		return fmt.Errorf("draining pool: %w", err)
+	}
+	fmt.Fprintln(out, "laacadd stopped; jobs spooled for resume")
+	return nil
+}
+
+// clientFlags adds the shared -addr flag and returns the Client factory.
+func clientFlags(fs *flag.FlagSet) func() *service.Client {
+	addr := fs.String("addr", "localhost:7600", "daemon address (host:port or URL)")
+	return func() *service.Client {
+		base := *addr
+		if len(base) < 7 || (base[:7] != "http://" && (len(base) < 8 || base[:8] != "https://")) {
+			base = "http://" + base
+		}
+		return &service.Client{BaseURL: base}
+	}
+}
+
+// submitCmd builds a JobSpec — from a registered scenario name plus
+// overrides, or a full JSON document via -file — and submits it.
+func submitCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("laacadd submit", flag.ContinueOnError)
+	client := clientFlags(fs)
+	var (
+		scName   = fs.String("scenario", "", "registered scenario to run (see laacad -list)")
+		file     = fs.String("file", "", "JSON JobSpec document ('-' = stdin); overrides -scenario")
+		priority = fs.Int("priority", 0, "scheduling priority; higher runs first and may preempt")
+		workers  = fs.Int("workers", 0, "engine worker goroutines (0 = daemon default)")
+		rounds   = fs.Int("rounds", 0, "override the scenario's round budget (0 = keep)")
+		pace     = fs.Int("pace", 0, "minimum milliseconds per round (observation pacing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec service.JobSpec
+	switch {
+	case *file != "":
+		data, err := readInput(*file)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return fmt.Errorf("decoding %s: %w", *file, err)
+		}
+	case *scName != "":
+		sc, err := laacad.LookupScenario(*scName)
+		if err != nil {
+			return err
+		}
+		spec.Scenario = sc
+	default:
+		return errors.New("submit needs -scenario or -file")
+	}
+	if *priority != 0 {
+		spec.Priority = *priority
+	}
+	if *workers != 0 {
+		spec.Workers = workers
+	}
+	if *rounds != 0 {
+		spec.MaxRounds = rounds
+	}
+	if *pace != 0 {
+		spec.PaceMS = *pace
+	}
+	st, err := client().Submit(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s %s (scenario=%s region=%s n=%d priority=%d)\n",
+		st.ID, st.State, st.Scenario, st.Region, st.N, st.Priority)
+	return nil
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// statusCmd prints one job's status, or the whole queue.
+func statusCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("laacadd status", flag.ContinueOnError)
+	client := clientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if id := fs.Arg(0); id != "" {
+		st, err := client().Job(ctx, id)
+		if err != nil {
+			return err
+		}
+		return json.NewEncoder(out).Encode(st)
+	}
+	jobs, err := client().Jobs(ctx)
+	if err != nil {
+		return err
+	}
+	for _, st := range jobs {
+		fmt.Fprintln(out, formatStatus(st))
+	}
+	return nil
+}
+
+func formatStatus(st *service.JobStatus) string {
+	extra := ""
+	if st.Preemptions > 0 {
+		extra = fmt.Sprintf(" preemptions=%d slots=%v", st.Preemptions, st.Slots)
+	}
+	if st.Error != "" {
+		extra += " error=" + st.Error
+	}
+	return fmt.Sprintf("%-12s %-10s prio=%-3d rounds=%-4d %s/%s n=%d%s",
+		st.ID, st.State, st.Priority, st.Rounds, st.Scenario, st.Region, st.N, extra)
+}
+
+// watchCmd follows a job's event stream until it reaches a terminal state.
+func watchCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("laacadd watch", flag.ContinueOnError)
+	client := clientFlags(fs)
+	after := fs.Int("after", 0, "resume the stream after this event ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		return errors.New("usage: laacadd watch <job-id>")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return client().Watch(ctx, id, *after, func(e service.Event) error {
+		switch e.Type {
+		case "round":
+			fmt.Fprintf(out, "%s round %d: max_cr=%.6g max_move=%.3g moved=%d msgs=%d\n",
+				e.JobID, e.Round.Round, e.Round.MaxCircumradius, e.Round.MaxMove, e.Round.Moved, e.Round.Messages)
+		case "state":
+			line := fmt.Sprintf("%s → %s", e.JobID, e.State)
+			if e.Error != "" {
+				line += ": " + e.Error
+			}
+			fmt.Fprintln(out, line)
+		}
+		return nil
+	})
+}
+
+// cancelCmd cancels a job (idempotent).
+func cancelCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("laacadd cancel", flag.ContinueOnError)
+	client := clientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		return errors.New("usage: laacadd cancel <job-id>")
+	}
+	st, err := client().Cancel(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s %s\n", st.ID, st.State)
+	return nil
+}
+
+// resultCmd prints a finished job's deployment result as JSON.
+func resultCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("laacadd result", flag.ContinueOnError)
+	client := clientFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	id := fs.Arg(0)
+	if id == "" {
+		return errors.New("usage: laacadd result <job-id>")
+	}
+	res, err := client().Result(context.Background(), id)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", " ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"laacad/internal/core"
+	"laacad/internal/scenario"
+	"laacad/internal/service"
+)
+
+// syncBuf is a goroutine-safe writer the serve goroutine logs into.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var servingRe = regexp.MustCompile(`serving at http://([^ ]+) `)
+
+// startDaemon runs `laacadd serve` in a goroutine and waits for its bound
+// address. The returned stop function delivers SIGTERM (the real shutdown
+// path: drain, checkpoint, spool) and waits for serve to exit.
+func startDaemon(t *testing.T, spool string) (addr string, stop func()) {
+	t.Helper()
+	out := &syncBuf{}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"serve", "-addr", "127.0.0.1:0", "-spool", spool, "-pool", "1"}, out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon did not start; output:\n%s", out.String())
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("serve exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if m := servingRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return addr, func() {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatalf("signalling daemon: %v", err)
+		}
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("serve: %v\n%s", err, out.String())
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("daemon did not drain; output:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "jobs spooled for resume") {
+			t.Errorf("shutdown message missing; output:\n%s", out.String())
+		}
+	}
+}
+
+// smokeScenario is small and non-converging (exactly 40 rounds), in
+// Localized mode so message accounting is part of the bit-identity check.
+func smokeScenario() scenario.Scenario {
+	cfg := core.DefaultConfig(1)
+	cfg.Epsilon = 1e-12
+	cfg.MaxRounds = 40
+	cfg.Mode = core.Localized
+	cfg.Gamma = 0.6
+	cfg.Seed = 9
+	return scenario.Scenario{Region: "square", Placement: "uniform", N: 12, Config: cfg}
+}
+
+// TestDaemonSmoke is the end-to-end daemon exercise through the real
+// subcommands over real HTTP: submit a paced job, SIGTERM the daemon
+// mid-run (graceful drain: checkpoint + spool), restart it over the same
+// spool, watch the job resume and finish, and verify the result is
+// bit-identical to running the scenario uninterrupted in-process.
+func TestDaemonSmoke(t *testing.T) {
+	spool := t.TempDir()
+	sc := smokeScenario()
+
+	// Reference: the same scenario, uninterrupted.
+	r, err := scenario.NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specPath := filepath.Join(t.TempDir(), "job.json")
+	spec := service.JobSpec{Scenario: sc, PaceMS: 10}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, stop := startDaemon(t, spool)
+
+	var out bytes.Buffer
+	if err := run([]string{"submit", "-addr", addr, "-file", specPath}, &out); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	id := strings.Fields(out.String())[0]
+	if !strings.HasPrefix(id, "job-") {
+		t.Fatalf("submit output %q has no job id", out.String())
+	}
+
+	// Wait until the run is past a couple of rounds, then SIGTERM mid-run.
+	client := &service.Client{BaseURL: "http://" + addr}
+	waitJob(t, client, id, "running past round 2", func(st *service.JobStatus) bool { return st.Rounds >= 2 })
+	stop()
+
+	// The spool holds the checkpointed job.
+	rec, err := os.ReadFile(filepath.Join(spool, id+".json"))
+	if err != nil {
+		t.Fatalf("spooled record: %v", err)
+	}
+	var job service.Job
+	if err := json.Unmarshal(rec, &job); err != nil {
+		t.Fatalf("decoding spooled record: %v", err)
+	}
+	if job.State != service.StatePreempted || job.Checkpoint == nil {
+		t.Fatalf("spooled job state=%s checkpoint=%v, want preempted with checkpoint", job.State, job.Checkpoint != nil)
+	}
+
+	// Restart over the same spool: the job resumes and finishes.
+	addr2, stop2 := startDaemon(t, spool)
+	defer stop2()
+	client2 := &service.Client{BaseURL: "http://" + addr2}
+	waitJob(t, client2, id, "job done after restart", func(st *service.JobStatus) bool {
+		return st.State == service.StateDone
+	})
+
+	// `laacadd watch` replays the full stream (resumable across restarts).
+	out.Reset()
+	if err := run([]string{"watch", "-addr", addr2, id}, &out); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if c := strings.Count(out.String(), "round"); c < 40 {
+		t.Errorf("watch replayed %d round lines, want >= 40:\n%s", c, out.String())
+	}
+	if !strings.Contains(out.String(), "→ done") {
+		t.Errorf("watch did not reach the terminal state:\n%s", out.String())
+	}
+
+	// `laacadd result` returns the bit-identical deployment.
+	out.Reset()
+	if err := run([]string{"result", "-addr", addr2, id}, &out); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	var res core.Result
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("decoding result: %v", err)
+	}
+	if !reflect.DeepEqual(&res, solo) {
+		t.Errorf("daemon result differs from uninterrupted in-process run (rounds=%d/%d msgs=%d/%d)",
+			res.Rounds, solo.Rounds, res.Messages, solo.Messages)
+	}
+
+	// status and cancel round out the surface (cancel is idempotent here).
+	out.Reset()
+	if err := run([]string{"status", "-addr", addr2}, &out); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !strings.Contains(out.String(), id) || !strings.Contains(out.String(), "done") {
+		t.Errorf("status listing missing the job:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"cancel", "-addr", addr2, id}, &out); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if !strings.Contains(out.String(), "done") {
+		t.Errorf("cancel of a done job should report done, got: %s", out.String())
+	}
+}
+
+func waitJob(t *testing.T, c *service.Client, id, what string, cond func(*service.JobStatus) bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Job(context.Background(), id)
+		if err == nil && cond(st) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestRunRejectsUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("no subcommand should fail with usage")
+	}
+}

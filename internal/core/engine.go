@@ -104,6 +104,13 @@ type Engine struct {
 	// msgBase is the message count carried over from before a Resume; the
 	// live network counter restarts at zero on every (re)construction.
 	msgBase int64
+	// finalMsgs counts messages charged by Finalize's out-of-round region
+	// recomputation (the final radius collection of an unconverged run).
+	// Result.Messages includes them, but Snapshot subtracts them: a
+	// checkpoint is the state at a round boundary, and a run resumed from it
+	// performs its own final collection — counting the interrupted run's
+	// partial-result assembly too would double-charge it.
+	finalMsgs int64
 	// observer, if set, runs after every round of Run with that round's
 	// statistics (see SetObserver).
 	observer func(RoundStats) error
@@ -1188,7 +1195,9 @@ func (e *Engine) finalizePartial(cause error) (*Result, error) {
 func (e *Engine) Finalize() (*Result, error) {
 	polysPerNode := e.regions
 	if !e.converged || polysPerNode == nil {
+		before := e.net.MessageCount()
 		polysPerNode = e.computeRegions()
+		e.finalMsgs += e.net.MessageCount() - before
 	}
 	n := e.net.Len()
 	radii := make([]float64, n)

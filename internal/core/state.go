@@ -28,9 +28,13 @@ func (e *Engine) Snapshot() (*snapshot.State, error) {
 	st := snapshot.NewState(snapshot.KindEngine, e.net.Positions())
 	st.Round = e.round
 	st.Converged = e.converged
-	st.Messages = e.msgBase + e.net.MessageCount()
+	// Exclude finalMsgs: a checkpoint is round-boundary state, and the
+	// resumed run performs its own final radius collection. Keeping the
+	// interrupted run's partial-result assembly in the count would make the
+	// resumed total exceed an uninterrupted run's by one extra collection.
+	st.Messages = e.msgBase + e.net.MessageCount() - e.finalMsgs
 	st.Trace = traceToState(e.trace)
-	st.Config = configToState(e.cfg)
+	st.Config = ConfigToState(e.cfg)
 	return st, nil
 }
 
@@ -41,7 +45,7 @@ func Resume(reg *region.Region, st *snapshot.State) (*Engine, error) {
 	if st.Kind != snapshot.KindEngine {
 		return nil, fmt.Errorf("core: cannot resume %q checkpoint with the round engine", st.Kind)
 	}
-	e, err := New(reg, st.Positions(), configFromState(st.Config))
+	e, err := New(reg, st.Positions(), ConfigFromState(st.Config))
 	if err != nil {
 		return nil, err
 	}
@@ -52,8 +56,9 @@ func Resume(reg *region.Region, st *snapshot.State) (*Engine, error) {
 	return e, nil
 }
 
-// configToState extracts the serializable subset of a Config.
-func configToState(c Config) snapshot.ConfigState {
+// ConfigToState extracts the serializable subset of a Config — the schema
+// shared by resumable checkpoints and the scenario wire format.
+func ConfigToState(c Config) snapshot.ConfigState {
 	return snapshot.ConfigState{
 		K:            c.K,
 		Alpha:        c.Alpha,
@@ -74,9 +79,9 @@ func configToState(c Config) snapshot.ConfigState {
 	}
 }
 
-// configFromState rebuilds a Config from its serialized form. The Detector
+// ConfigFromState rebuilds a Config from its serialized form. The Detector
 // is left nil (default).
-func configFromState(s snapshot.ConfigState) Config {
+func ConfigFromState(s snapshot.ConfigState) Config {
 	return Config{
 		K:            s.K,
 		Alpha:        s.Alpha,

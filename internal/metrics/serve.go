@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+)
+
+// HTTP wiring shared by every process that exposes an observability surface
+// (cmd/laacad's -metrics flag and the cmd/laacadd daemon), so the two serve
+// the same handler instead of drifting copies.
+
+// Mux returns a mux exposing reg at /metrics and at the root — the standard
+// layout for a standalone metrics listener.
+func Mux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/", reg)
+	return mux
+}
+
+// ListenAndServe binds addr, serves h on it in the background, and returns
+// the bound address (useful with a ":0" port) together with a shutdown
+// function that closes the listener and any active connections.
+func ListenAndServe(addr string, h http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestListenAndServeMetricsMux(t *testing.T) {
+	reg := &Registry{}
+	reg.Counter("engine.rounds").Set(11)
+	addr, shutdown, err := ListenAndServe("127.0.0.1:0", Mux(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	for _, path := range []string{"/metrics", "/"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap map[string]int64
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatalf("%s returned invalid JSON: %v\n%s", path, err, body)
+		}
+		if snap["engine.rounds"] != 11 {
+			t.Errorf("%s: engine.rounds = %d, want 11", path, snap["engine.rounds"])
+		}
+	}
+}
+
+func TestListenAndServeRejectsBadAddr(t *testing.T) {
+	if _, _, err := ListenAndServe("not-an-address:-1", Mux(&Registry{})); err == nil {
+		t.Error("unusable address should fail")
+	}
+}

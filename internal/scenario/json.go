@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"laacad/internal/core"
+	"laacad/internal/sim"
+	"laacad/internal/snapshot"
+)
+
+// Scenario wire format.
+//
+// A Scenario round-trips through JSON so deployments can be submitted to a
+// daemon, spooled to disk, and replayed elsewhere: names resolve through the
+// registries on the receiving side, and the engine configuration reuses the
+// snapshot.ConfigState schema already proven to round-trip bit-exactly for
+// checkpoints. The wire form records the configuration of the active regime
+// (engine config, or the event-driven simulator's when async is set); a
+// decoded Scenario is therefore equal to the encoded one for every scenario
+// whose inactive config is the zero value — which all registered scenarios
+// are.
+
+// scenarioJSON is the wire shape; Scenario's JSON methods go through it so
+// the exported struct can keep richer types (core.Config holds a Detector
+// interface the wire cannot carry).
+type scenarioJSON struct {
+	Name        string               `json:"name,omitempty"`
+	Description string               `json:"description,omitempty"`
+	Region      string               `json:"region"`
+	Placement   string               `json:"placement"`
+	N           int                  `json:"n"`
+	Async       bool                 `json:"async,omitempty"`
+	Config      snapshot.ConfigState `json:"config"`
+}
+
+// MarshalJSON encodes the scenario in its wire form.
+func (s Scenario) MarshalJSON() ([]byte, error) {
+	w := scenarioJSON{
+		Name:        s.Name,
+		Description: s.Description,
+		Region:      s.Region,
+		Placement:   s.Placement,
+		N:           s.N,
+		Async:       s.Async,
+	}
+	if s.Async {
+		w.Config = asyncConfigToState(s.AsyncConfig)
+	} else {
+		w.Config = core.ConfigToState(s.Config)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form, rejecting unknown fields so a typo in
+// a submitted job surfaces as an error instead of a silently ignored knob.
+// It performs no registry resolution; call Validate before running the
+// decoded scenario.
+func (s *Scenario) UnmarshalJSON(data []byte) error {
+	var w scenarioJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("scenario: decoding: %w", err)
+	}
+	*s = Scenario{
+		Name:        w.Name,
+		Description: w.Description,
+		Region:      w.Region,
+		Placement:   w.Placement,
+		N:           w.N,
+		Async:       w.Async,
+	}
+	if w.Async {
+		s.AsyncConfig = asyncConfigFromState(w.Config)
+	} else {
+		s.Config = core.ConfigFromState(w.Config)
+	}
+	return nil
+}
+
+// ParseJSON decodes and validates a scenario — the submit-time entry point:
+// a scenario that parses is guaranteed to resolve against the registries and
+// to carry parameters the engine will accept, so a bad submission fails here
+// with a clear error instead of deep inside Run.
+func ParseJSON(data []byte) (Scenario, error) {
+	var s Scenario
+	if err := s.UnmarshalJSON(data); err != nil {
+		return Scenario{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// Validate checks that the scenario resolves against the registries and that
+// its parameters can build a runner. Unknown region/placement names are
+// rejected with the list of valid names; non-positive N, out-of-range enums
+// and regime-specific requirements (Localized needs γ > 0, async needs a
+// time budget) fail with an error naming the offending field.
+func (s Scenario) Validate() error {
+	mu.RLock()
+	_, regionOK := regions[s.Region]
+	_, placementOK := placements[s.Placement]
+	mu.RUnlock()
+	if !regionOK {
+		return fmt.Errorf("scenario: unknown region %q (valid regions: %s)",
+			s.Region, strings.Join(RegionNames(), ", "))
+	}
+	if !placementOK {
+		return fmt.Errorf("scenario: unknown placement %q (valid placements: %s)",
+			s.Placement, strings.Join(PlacementNames(), ", "))
+	}
+	if s.N < 1 {
+		return fmt.Errorf("scenario: n must be positive, got %d", s.N)
+	}
+	if s.Async {
+		c := s.AsyncConfig
+		if c.K < 1 || s.N < c.K {
+			return fmt.Errorf("scenario: need k >= 1 and n >= k, got k=%d n=%d", c.K, s.N)
+		}
+		if c.Alpha <= 0 || c.Alpha > 1 {
+			return fmt.Errorf("scenario: alpha must be in (0, 1], got %v", c.Alpha)
+		}
+		if c.Epsilon <= 0 {
+			return fmt.Errorf("scenario: epsilon must be positive, got %v", c.Epsilon)
+		}
+		if c.Tau <= 0 {
+			return fmt.Errorf("scenario: tau must be positive, got %v", c.Tau)
+		}
+		if c.MaxTime <= 0 {
+			return fmt.Errorf("scenario: max_time must be positive, got %v", c.MaxTime)
+		}
+		return nil
+	}
+	c := s.Config
+	if c.K < 1 || s.N < c.K {
+		return fmt.Errorf("scenario: need k >= 1 and n >= k, got k=%d n=%d", c.K, s.N)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("scenario: alpha must be in (0, 1], got %v", c.Alpha)
+	}
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("scenario: epsilon must be positive, got %v", c.Epsilon)
+	}
+	if c.MaxRounds < 1 {
+		return fmt.Errorf("scenario: max_rounds must be positive, got %d", c.MaxRounds)
+	}
+	if c.Mode != core.Centralized && c.Mode != core.Localized {
+		return fmt.Errorf("scenario: unknown mode %d (0 = centralized, 1 = localized)", int(c.Mode))
+	}
+	if c.Order != core.Synchronous && c.Order != core.Sequential {
+		return fmt.Errorf("scenario: unknown order %d (0 = synchronous, 1 = sequential)", int(c.Order))
+	}
+	if c.Mode == core.Localized && c.Gamma <= 0 {
+		return fmt.Errorf("scenario: localized mode needs gamma > 0, got %v", c.Gamma)
+	}
+	return nil
+}
+
+// asyncConfigToState maps the event-driven simulator's configuration onto
+// the shared ConfigState schema (the async fields the checkpoint format
+// already carries).
+func asyncConfigToState(c sim.Config) snapshot.ConfigState {
+	return snapshot.ConfigState{
+		K:                 c.K,
+		Alpha:             c.Alpha,
+		Epsilon:           c.Epsilon,
+		Seed:              c.Seed,
+		Tau:               c.Tau,
+		Jitter:            c.Jitter,
+		Speed:             c.Speed,
+		MaxTime:           c.MaxTime,
+		StableActivations: c.StableActivations,
+	}
+}
+
+func asyncConfigFromState(s snapshot.ConfigState) sim.Config {
+	return sim.Config{
+		K:                 s.K,
+		Alpha:             s.Alpha,
+		Epsilon:           s.Epsilon,
+		Seed:              s.Seed,
+		Tau:               s.Tau,
+		Jitter:            s.Jitter,
+		Speed:             s.Speed,
+		MaxTime:           s.MaxTime,
+		StableActivations: s.StableActivations,
+	}
+}

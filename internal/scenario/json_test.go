@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"laacad/internal/core"
+)
+
+// Every registered scenario must survive a JSON round-trip exactly: the
+// daemon spools submitted scenarios to disk and replays them, so a lossy
+// wire format would silently change what runs.
+func TestScenarioJSONRoundTripRegistered(t *testing.T) {
+	for _, sc := range All() {
+		data, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", sc.Name, err)
+		}
+		var back Scenario
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", sc.Name, err)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Errorf("%s: round-trip changed the scenario\n got: %+v\nwant: %+v", sc.Name, back, sc)
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("%s: decoded scenario fails validation: %v", sc.Name, err)
+		}
+	}
+}
+
+func TestScenarioJSONRejectsUnknownFields(t *testing.T) {
+	_, err := ParseJSON([]byte(`{"region":"square","placement":"uniform","n":10,"nodes":10,"config":{"k":2,"alpha":0.5,"epsilon":1e-3,"max_rounds":5,"seed":1}}`))
+	if err == nil || !strings.Contains(err.Error(), "nodes") {
+		t.Errorf("unknown field should be rejected by name, got %v", err)
+	}
+}
+
+func TestValidateListsValidNames(t *testing.T) {
+	base := func() Scenario {
+		sc, err := Lookup("uniform")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+
+	sc := base()
+	sc.Region = "hexagon"
+	err := sc.Validate()
+	if err == nil || !strings.Contains(err.Error(), `"hexagon"`) || !strings.Contains(err.Error(), "square") {
+		t.Errorf("unknown region error should name it and list valid regions, got: %v", err)
+	}
+
+	sc = base()
+	sc.Placement = "spiral"
+	err = sc.Validate()
+	if err == nil || !strings.Contains(err.Error(), `"spiral"`) || !strings.Contains(err.Error(), "uniform") {
+		t.Errorf("unknown placement error should name it and list valid placements, got: %v", err)
+	}
+
+	sc = base()
+	sc.N = 0
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Errorf("non-positive n should be rejected, got: %v", err)
+	}
+
+	sc = base()
+	sc.N = 1 // < K
+	if err := sc.Validate(); err == nil {
+		t.Error("n < k should be rejected")
+	}
+
+	sc = base()
+	sc.Config.Mode = core.Mode(7)
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Errorf("out-of-range mode should be rejected, got: %v", err)
+	}
+
+	sc = base()
+	sc.Config.Mode = core.Localized
+	sc.Config.Gamma = 0
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "gamma") {
+		t.Errorf("localized without gamma should be rejected, got: %v", err)
+	}
+
+	sc = base()
+	sc.Config.MaxRounds = 0
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "max_rounds") {
+		t.Errorf("zero max_rounds should be rejected, got: %v", err)
+	}
+}
+
+// A decoded scenario must RUN identically to its in-process original, not
+// just compare equal: the wire format feeds the daemon, whose results are
+// asserted bit-identical against solo runs.
+func TestDecodedScenarioRunsIdentically(t *testing.T) {
+	sc, err := Lookup("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc = sc.WithSeed(42)
+	sc.N = 40
+	sc.Config.MaxRounds = 8
+
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Positions, got.Positions) ||
+		!reflect.DeepEqual(want.Trace, got.Trace) ||
+		!reflect.DeepEqual(want.Radii, got.Radii) {
+		t.Error("decoded scenario produced a different run")
+	}
+}

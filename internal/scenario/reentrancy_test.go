@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"laacad/internal/core"
+)
+
+// reentrantCases builds distinct ad-hoc scenarios spanning both modes, all
+// orders, and several regions/placements — the mix a service worker pool
+// runs side by side in one process.
+func reentrantCases() []Scenario {
+	mk := func(region, placement string, n int, mode core.Mode, order core.UpdateOrder, seed int64) Scenario {
+		cfg := core.DefaultConfig(2)
+		cfg.Epsilon = 1e-12 // never converges: exactly MaxRounds rounds
+		cfg.MaxRounds = 20
+		cfg.Mode = mode
+		cfg.Order = order
+		cfg.Gamma = 0.6
+		cfg.Seed = seed
+		return Scenario{Region: region, Placement: placement, N: n, Config: cfg}
+	}
+	return []Scenario{
+		mk("square", "uniform", 16, core.Centralized, core.Synchronous, 1),
+		mk("square", "corner", 14, core.Centralized, core.Sequential, 2),
+		mk("lshape", "uniform", 16, core.Centralized, core.Synchronous, 3),
+		mk("cross", "cluster", 15, core.Centralized, core.Synchronous, 4),
+		mk("square", "uniform", 12, core.Localized, core.Synchronous, 5),
+		mk("square", "grid", 16, core.Localized, core.Sequential, 6),
+	}
+}
+
+// TestConcurrentRunsBitIdenticalToSolo pins runner reentrancy: many
+// distinct scenarios executing simultaneously in one process (as the
+// laacadd worker pool does) must each produce exactly the result of running
+// alone. Run under -race in CI, this also proves the runners share no
+// mutable state.
+func TestConcurrentRunsBitIdenticalToSolo(t *testing.T) {
+	cases := reentrantCases()
+
+	solo := make([]*core.Result, len(cases))
+	for i, sc := range cases {
+		r, err := NewRunner(sc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		res, err := r.Run(context.Background())
+		if err != nil {
+			t.Fatalf("case %d solo run: %v", i, err)
+		}
+		solo[i] = res
+	}
+
+	// Two concurrent copies of every case, all in flight at once.
+	const copies = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cases)*copies)
+	for i, sc := range cases {
+		for c := 0; c < copies; c++ {
+			wg.Add(1)
+			go func(i, c int, sc Scenario) {
+				defer wg.Done()
+				r, err := NewRunner(sc)
+				if err != nil {
+					errs <- fmt.Errorf("case %d copy %d: %w", i, c, err)
+					return
+				}
+				res, err := r.Run(context.Background())
+				if err != nil {
+					errs <- fmt.Errorf("case %d copy %d run: %w", i, c, err)
+					return
+				}
+				if !reflect.DeepEqual(res, solo[i]) {
+					errs <- fmt.Errorf("case %d copy %d: concurrent result differs from solo run", i, c)
+				}
+			}(i, c, sc)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

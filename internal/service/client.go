@@ -1,0 +1,188 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"laacad/internal/core"
+)
+
+// Client talks to a laacadd daemon over HTTP.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://localhost:7600".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the daemon's {"error": ...} body for non-2xx responses.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+// do issues a request and decodes a JSON response into out (if non-nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit sends a job spec; the daemon validates, spools, and schedules it.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodPost, "/jobs", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists every job the daemon knows, in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]*JobStatus, error) {
+	var out []*JobStatus
+	if err := c.do(ctx, http.MethodGet, "/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel requests cancellation (idempotent) and returns the updated status.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Result fetches a finished job's deployment result.
+func (c *Client) Result(ctx context.Context, id string) (*core.Result, error) {
+	var res core.Result
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Metrics fetches the daemon's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	var out map[string]int64
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Watch follows a job's SSE event stream from after the given event ID,
+// invoking fn for each event in order. It reconnects automatically (with
+// its cursor, so nothing is duplicated or lost) and returns nil once the
+// job reaches a terminal state, or ctx's error on cancellation.
+func (c *Client) Watch(ctx context.Context, id string, after int, fn func(Event) error) error {
+	for {
+		terminal, err := c.watchOnce(ctx, id, &after, fn)
+		if terminal || ctx.Err() != nil {
+			return err
+		}
+		// Stream ended without a terminal event (daemon restart, network
+		// hiccup): reconnect from the cursor.
+	}
+}
+
+// watchOnce consumes one SSE connection, advancing *after past every event
+// delivered. terminal reports whether the job finished.
+func (c *Client) watchOnce(ctx context.Context, id string, after *int, fn func(Event) error) (terminal bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/jobs/%s/events", c.BaseURL, id), nil)
+	if err != nil {
+		return true, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set("Last-Event-ID", fmt.Sprint(*after))
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return true, apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: ")...)
+		case line == "" && len(data) > 0:
+			var e Event
+			if err := json.Unmarshal(data, &e); err != nil {
+				return true, fmt.Errorf("service: bad event payload: %w", err)
+			}
+			data = nil
+			if e.ID <= *after {
+				continue
+			}
+			*after = e.ID
+			if err := fn(e); err != nil {
+				return true, err
+			}
+			if e.Type == "state" && e.State.Terminal() {
+				return true, nil
+			}
+		}
+	}
+	return false, sc.Err()
+}

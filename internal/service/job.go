@@ -1,0 +1,234 @@
+// Package service runs LAACAD deployments as a long-lived service: a Server
+// owns a durable job queue and a bounded worker pool, multiplexing many
+// concurrent laacad runs in one process.
+//
+// A job is a JSON-submitted Scenario plus run options and a priority. Jobs
+// are spooled to a directory as they change state, so a daemon restart (or
+// crash) loses nothing: terminal jobs keep their results, queued jobs stay
+// queued, and interrupted jobs resume from their last checkpoint. The
+// scheduler drains the queue highest-priority-first onto the pool and
+// preempts running work when something more urgent arrives: the victim's
+// context is cancelled, its engine checkpoint is captured through the
+// existing snapshot machinery, and the job is requeued to resume later —
+// bit-identically, on whichever worker slot next frees up. That guarantee is
+// inherited from the engine's determinism contract: a checkpoint plus config
+// is the complete state of a run.
+//
+// Lifecycle:
+//
+//	POST /jobs
+//	    │
+//	 queued ──────────────────────────┐ cancel
+//	   │ slot free                    ▼
+//	 running ───── error ──────────▶ failed │ cancelled
+//	   │   │
+//	   │   └── converged / MaxRounds ──▶ done
+//	   │ higher-priority arrival (or daemon shutdown):
+//	   │ ctx cancel + checkpoint
+//	   ▼
+//	preempted ── slot free ──▶ running (resumes bit-identically)
+//
+// The HTTP surface (Server.Handler) exposes submit/list/status/cancel, a
+// Server-Sent-Events stream of per-round statistics resumable via
+// Last-Event-ID, job results, and the service metrics registry.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"laacad/internal/core"
+	"laacad/internal/scenario"
+	"laacad/internal/snapshot"
+)
+
+// JobState is a point in the job lifecycle.
+type JobState string
+
+// Job lifecycle states.
+const (
+	// StateQueued: accepted, waiting for a worker slot.
+	StateQueued JobState = "queued"
+	// StateRunning: executing on a worker slot.
+	StateRunning JobState = "running"
+	// StatePreempted: checkpointed off its slot by a higher-priority job
+	// (or a daemon shutdown); waiting to resume from the checkpoint.
+	StatePreempted JobState = "preempted"
+	// StateDone: finished with a Result.
+	StateDone JobState = "done"
+	// StateFailed: finished with an error.
+	StateFailed JobState = "failed"
+	// StateCancelled: cancelled by the client (from any non-terminal state).
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// runnable reports whether the scheduler may start (or resume) the job.
+func (s JobState) runnable() bool { return s == StateQueued || s == StatePreempted }
+
+// JobSpec is what a client submits: the scenario to run plus scheduling and
+// run options.
+type JobSpec struct {
+	// Scenario defines the deployment (see the scenario wire format).
+	Scenario scenario.Scenario `json:"scenario"`
+	// Priority orders the queue; higher runs first. A job whose priority is
+	// strictly greater than a running job's may preempt it when the pool is
+	// full. Ties drain in submission order.
+	Priority int `json:"priority,omitempty"`
+	// Workers overrides Config.Workers for this run (results are
+	// bit-identical for every value).
+	Workers *int `json:"workers,omitempty"`
+	// MaxRounds overrides the scenario's round budget.
+	MaxRounds *int `json:"max_rounds,omitempty"`
+	// PaceMS, if positive, is a minimum duration per round in milliseconds —
+	// observation pacing for demos and streaming clients (and the lever
+	// tests use to hold a job mid-run). Pacing never changes results.
+	PaceMS int `json:"pace_ms,omitempty"`
+}
+
+// Validate rejects a spec that could not run, with submit-time errors (the
+// scenario's registry/parameter checks plus the spec's own options).
+func (sp JobSpec) Validate() error {
+	sc := sp.Scenario
+	if sp.MaxRounds != nil {
+		if *sp.MaxRounds < 1 {
+			return fmt.Errorf("service: max_rounds override must be positive, got %d", *sp.MaxRounds)
+		}
+		sc.Config.MaxRounds = *sp.MaxRounds
+	}
+	if sp.PaceMS < 0 {
+		return fmt.Errorf("service: pace_ms must be non-negative, got %d", sp.PaceMS)
+	}
+	return sc.Validate()
+}
+
+// Job is the durable job record — exactly what one spool file holds. The
+// Server mutates it under its lock and rewrites the file on every state
+// transition, so the spool is always a consistent picture of the queue.
+type Job struct {
+	ID  string `json:"id"`
+	Seq uint64 `json:"seq"`
+
+	Spec  JobSpec  `json:"spec"`
+	State JobState `json:"state"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	// Slot is the worker slot the job currently occupies (-1 when not
+	// running); Slots is the history of slots across starts and resumes.
+	Slot  int   `json:"slot"`
+	Slots []int `json:"slots,omitempty"`
+	// Preemptions counts how many times the job was checkpointed off a slot.
+	Preemptions int `json:"preemptions,omitempty"`
+	// Rounds is the last completed round observed from the run.
+	Rounds int    `json:"rounds,omitempty"`
+	Error  string `json:"error,omitempty"`
+
+	// Checkpoint is the resume point of a preempted (or interrupted) job.
+	Checkpoint *snapshot.State `json:"checkpoint,omitempty"`
+	// Result is the finished deployment (StateDone).
+	Result *core.Result `json:"result,omitempty"`
+}
+
+// Event is one entry of a job's observable stream: a completed round or a
+// state transition. IDs are 1-based and strictly increasing per job, which
+// is what makes the SSE stream resumable via Last-Event-ID.
+type Event struct {
+	ID    int    `json:"id"`
+	JobID string `json:"job_id"`
+	// Type is "round" or "state".
+	Type  string           `json:"type"`
+	State JobState         `json:"state,omitempty"`
+	Round *core.RoundStats `json:"round,omitempty"`
+	Error string           `json:"error,omitempty"`
+}
+
+// JobStatus is the client-facing view of a job (everything but the bulky
+// checkpoint and result payloads).
+type JobStatus struct {
+	ID       string   `json:"id"`
+	State    JobState `json:"state"`
+	Priority int      `json:"priority"`
+
+	Scenario  string `json:"scenario,omitempty"`
+	Region    string `json:"region"`
+	Placement string `json:"placement"`
+	N         int    `json:"n"`
+	Async     bool   `json:"async,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+
+	Slot        int    `json:"slot"`
+	Slots       []int  `json:"slots,omitempty"`
+	Preemptions int    `json:"preemptions,omitempty"`
+	Rounds      int    `json:"rounds,omitempty"`
+	Error       string `json:"error,omitempty"`
+	HasResult   bool   `json:"has_result"`
+	Events      int    `json:"events"`
+}
+
+// Spool IO. One file per job, written via temp+rename so a crash mid-write
+// never leaves a truncated record.
+
+func spoolPath(dir, id string) string { return filepath.Join(dir, id+".json") }
+
+func writeJobFile(dir string, j *Job) error {
+	data, err := json.MarshalIndent(j, "", " ")
+	if err != nil {
+		return fmt.Errorf("service: encoding job %s: %w", j.ID, err)
+	}
+	tmp := spoolPath(dir, j.ID) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("service: spooling job %s: %w", j.ID, err)
+	}
+	if err := os.Rename(tmp, spoolPath(dir, j.ID)); err != nil {
+		return fmt.Errorf("service: spooling job %s: %w", j.ID, err)
+	}
+	return nil
+}
+
+// loadJobFiles reads every job record in dir. Corrupt or foreign files are
+// skipped and reported, not fatal: a damaged record must not keep the rest
+// of the queue from draining.
+func loadJobFiles(dir string) ([]*Job, []error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, []error{fmt.Errorf("service: reading spool %s: %w", dir, err)}
+	}
+	var jobs []*Job
+	var warns []error
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			warns = append(warns, fmt.Errorf("service: reading %s: %w", name, err))
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal(data, &j); err != nil {
+			warns = append(warns, fmt.Errorf("service: decoding %s: %w", name, err))
+			continue
+		}
+		if j.ID == "" || j.ID+".json" != name {
+			warns = append(warns, fmt.Errorf("service: %s: job id %q does not match file name", name, j.ID))
+			continue
+		}
+		jobs = append(jobs, &j)
+	}
+	return jobs, warns
+}

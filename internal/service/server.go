@@ -1,0 +1,658 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"laacad/internal/core"
+	"laacad/internal/metrics"
+	"laacad/internal/scenario"
+	"laacad/internal/snapshot"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrUnknownJob wraps lookups of job IDs the server does not know.
+	ErrUnknownJob = errors.New("service: unknown job")
+	// ErrDraining rejects submissions during shutdown.
+	ErrDraining = errors.New("service: server is draining")
+	// ErrNoResult wraps result requests for jobs that have not finished.
+	ErrNoResult = errors.New("service: no result yet")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// SpoolDir is the durable job spool (required). The server owns the
+	// directory: one JSON record per job, rewritten on every transition.
+	SpoolDir string
+	// Pool is the number of worker slots — concurrent laacad runs. Zero or
+	// negative means runtime.NumCPU().
+	Pool int
+	// Metrics, if non-nil, receives the service counters and gauges;
+	// otherwise the server creates its own registry. Either way the
+	// registry is exposed at /metrics by Handler.
+	Metrics *metrics.Registry
+}
+
+// job is the runtime wrapper around the durable record: scheduling state
+// that must not (cancel funcs) or need not (event buffers, rebuildable from
+// the spooled trace) survive a restart. All fields are guarded by Server.mu.
+type job struct {
+	Job
+
+	cancel          context.CancelFunc
+	preempting      bool
+	cancelRequested bool
+
+	events []Event
+	// notify is closed and replaced every time an event is appended;
+	// subscribers grab the current channel together with their cursor.
+	notify chan struct{}
+}
+
+// Server owns the job queue, the spool, and the worker pool. Create with
+// New; all methods are safe for concurrent use.
+type Server struct {
+	cfg  Config
+	pool int
+	reg  *metrics.Registry
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	slots    []string // job ID per worker slot; "" = free
+	seq      uint64
+	draining bool
+	warns    []error
+
+	wg sync.WaitGroup
+
+	accepted  *metrics.Counter
+	completed *metrics.Counter
+	failed    *metrics.Counter
+	cancelled *metrics.Counter
+	preempted *metrics.Counter
+	resumed   *metrics.Counter
+}
+
+// New builds a Server over the spool directory, recovering any jobs a
+// previous daemon left behind: terminal jobs keep their results, queued
+// jobs re-enter the queue, and jobs that were running (clean shutdown or
+// crash) resume from their checkpoint — or restart from scratch when no
+// checkpoint was captured, which is safe because a scenario is a replayable
+// value. Recovered runnable jobs dispatch immediately.
+func New(cfg Config) (*Server, error) {
+	if cfg.SpoolDir == "" {
+		return nil, fmt.Errorf("service: Config.SpoolDir is required")
+	}
+	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating spool: %w", err)
+	}
+	pool := cfg.Pool
+	if pool <= 0 {
+		pool = runtime.NumCPU()
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = &metrics.Registry{}
+	}
+	s := &Server{
+		cfg:   cfg,
+		pool:  pool,
+		reg:   reg,
+		jobs:  make(map[string]*job),
+		slots: make([]string, pool),
+
+		accepted:  reg.Counter("service.jobs_accepted"),
+		completed: reg.Counter("service.jobs_completed"),
+		failed:    reg.Counter("service.jobs_failed"),
+		cancelled: reg.Counter("service.jobs_cancelled"),
+		preempted: reg.Counter("service.jobs_preempted"),
+		resumed:   reg.Counter("service.jobs_resumed"),
+	}
+	reg.Gauge("service.queue_depth", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var n int64
+		for _, j := range s.jobs {
+			if j.State.runnable() {
+				n++
+			}
+		}
+		return n
+	})
+	reg.Gauge("service.pool_occupancy", func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var n int64
+		for _, id := range s.slots {
+			if id != "" {
+				n++
+			}
+		}
+		return n
+	})
+	reg.Counter("service.pool_size").Set(int64(pool))
+
+	loaded, warns := loadJobFiles(cfg.SpoolDir)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.warns = warns
+	for _, rec := range loaded {
+		j := &job{Job: *rec, notify: make(chan struct{})}
+		j.Slot = -1
+		switch {
+		case j.State.Terminal():
+			// Keep as-is.
+		case j.Checkpoint != nil:
+			// Cleanly preempted, or interrupted after a checkpoint was
+			// spooled: resume from it.
+			j.State = StatePreempted
+			s.accepted.Add(1)
+		default:
+			// Queued, or interrupted before any checkpoint: replay from the
+			// start (the scenario is deterministic, so nothing is lost).
+			j.State = StateQueued
+			s.accepted.Add(1)
+		}
+		seedEvents(j)
+		s.jobs[j.ID] = j
+		if j.Seq > s.seq {
+			s.seq = j.Seq
+		}
+		if err := writeJobFile(s.cfg.SpoolDir, &j.Job); err != nil {
+			s.warns = append(s.warns, err)
+		}
+	}
+	s.dispatchLocked()
+	return s, nil
+}
+
+// seedEvents rebuilds a recovered job's event stream from its durable trace
+// (checkpoint for interrupted jobs, result for finished ones), so SSE
+// clients reconnecting after a daemon restart still replay history.
+func seedEvents(j *job) {
+	j.events = j.events[:0]
+	push := func(e Event) {
+		e.ID = len(j.events) + 1
+		e.JobID = j.ID
+		j.events = append(j.events, e)
+	}
+	push(Event{Type: "state", State: StateQueued})
+	var trace []core.RoundStats
+	switch {
+	case j.Result != nil:
+		trace = j.Result.Trace
+	case j.Checkpoint != nil:
+		trace = coreTrace(j.Checkpoint)
+	}
+	for i := range trace {
+		push(Event{Type: "round", Round: &trace[i]})
+	}
+	if j.State.Terminal() {
+		push(Event{Type: "state", State: j.State, Error: j.Error})
+	} else if j.State == StatePreempted {
+		push(Event{Type: "state", State: StatePreempted})
+	}
+}
+
+// coreTrace converts a checkpoint's archived trace back to RoundStats.
+func coreTrace(st *snapshot.State) []core.RoundStats {
+	out := make([]core.RoundStats, len(st.Trace))
+	for i, tr := range st.Trace {
+		out[i] = core.RoundStats{
+			Round:           tr.Round,
+			MaxCircumradius: tr.MaxCircumradius,
+			MinCircumradius: tr.MinCircumradius,
+			MaxRhat:         tr.MaxRhat,
+			MaxMove:         tr.MaxMove,
+			Moved:           tr.Moved,
+			Messages:        tr.Messages,
+		}
+	}
+	return out
+}
+
+// Metrics returns the server's registry (service.* counters and gauges).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Warnings returns spool-recovery and spool-write problems collected so far.
+func (s *Server) Warnings() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]error(nil), s.warns...)
+}
+
+// Submit validates spec, durably spools it as a new queued job, and
+// dispatches. The scheduler may preempt lower-priority running work to make
+// room; see JobSpec.Priority.
+func (s *Server) Submit(spec JobSpec) (*JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.seq++
+	j := &job{
+		Job: Job{
+			ID:          fmt.Sprintf("job-%06d", s.seq),
+			Seq:         s.seq,
+			Spec:        spec,
+			State:       StateQueued,
+			SubmittedAt: time.Now(),
+			Slot:        -1,
+		},
+		notify: make(chan struct{}),
+	}
+	if err := writeJobFile(s.cfg.SpoolDir, &j.Job); err != nil {
+		s.seq--
+		return nil, err
+	}
+	s.jobs[j.ID] = j
+	s.accepted.Add(1)
+	s.appendEventLocked(j, Event{Type: "state", State: StateQueued})
+	s.dispatchLocked()
+	return s.statusLocked(j), nil
+}
+
+// Cancel moves a job to StateCancelled: queued and preempted jobs
+// immediately, running jobs by cancelling their context (the transition
+// lands when the worker yields). Cancelling a terminal job is a no-op.
+func (s *Server) Cancel(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	switch {
+	case j.State.Terminal():
+		// Idempotent.
+	case j.State == StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	default:
+		s.terminalLocked(j, StateCancelled, "")
+		s.dispatchLocked()
+	}
+	return s.statusLocked(j), nil
+}
+
+// Status returns the client-facing view of one job.
+func (s *Server) Status(id string) (*JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return s.statusLocked(j), nil
+}
+
+// List returns every job in submission order.
+func (s *Server) List() []*JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.statusLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Result returns a finished job's deployment result.
+func (s *Server) Result(id string) (*core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if j.Result == nil {
+		return nil, fmt.Errorf("%w: job %s is %s", ErrNoResult, id, j.State)
+	}
+	return j.Result, nil
+}
+
+// Events returns the job's events with ID > after (IDs are 1-based), a
+// channel closed when more events arrive, and whether the job is terminal
+// (terminal means the returned slice completes the stream).
+func (s *Server) Events(id string, after int) ([]Event, <-chan struct{}, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, false, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if after < 0 {
+		after = 0
+	}
+	if after > len(j.events) {
+		after = len(j.events)
+	}
+	return j.events[after:], j.notify, j.State.Terminal(), nil
+}
+
+// Idle reports whether no job is runnable or running — the queue is fully
+// drained.
+func (s *Server) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if !j.State.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// Shutdown drains the server for a restart: no new submissions, every
+// running job is cancelled at its next round boundary, checkpointed, and
+// spooled as preempted — the generalization of cmd/laacad's checkpoint-on-
+// interrupt to a whole pool. Queued jobs stay spooled as queued. A fresh
+// Server over the same spool resumes everything. Returns ctx.Err() if the
+// pool does not quiesce in time.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for _, id := range s.slots {
+		if id == "" {
+			continue
+		}
+		j := s.jobs[id]
+		if j.cancel != nil && !j.cancelRequested {
+			j.preempting = true
+			j.cancel()
+		}
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Scheduling. All *Locked methods require s.mu.
+
+// appendEventLocked stamps and stores an event and wakes subscribers.
+func (s *Server) appendEventLocked(j *job, e Event) {
+	e.ID = len(j.events) + 1
+	e.JobID = j.ID
+	j.events = append(j.events, e)
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// spoolLocked rewrites the job's durable record, downgrading IO errors to
+// warnings: the in-memory queue stays authoritative.
+func (s *Server) spoolLocked(j *job) {
+	if err := writeJobFile(s.cfg.SpoolDir, &j.Job); err != nil {
+		s.warns = append(s.warns, err)
+	}
+}
+
+// terminalLocked finishes a job: state, counters, event, spool.
+func (s *Server) terminalLocked(j *job, state JobState, errMsg string) {
+	now := time.Now()
+	j.State = state
+	j.FinishedAt = &now
+	j.Error = errMsg
+	switch state {
+	case StateDone:
+		s.completed.Add(1)
+		j.Checkpoint = nil
+	case StateFailed:
+		s.failed.Add(1)
+	case StateCancelled:
+		s.cancelled.Add(1)
+		j.Checkpoint = nil
+	}
+	s.appendEventLocked(j, Event{Type: "state", State: state, Error: errMsg})
+	s.spoolLocked(j)
+}
+
+// bestQueuedLocked picks the runnable job to start next: highest priority,
+// then submission order.
+func (s *Server) bestQueuedLocked() *job {
+	var best *job
+	for _, j := range s.jobs {
+		if !j.State.runnable() {
+			continue
+		}
+		if best == nil ||
+			j.Spec.Priority > best.Spec.Priority ||
+			(j.Spec.Priority == best.Spec.Priority && j.Seq < best.Seq) {
+			best = j
+		}
+	}
+	return best
+}
+
+// freeSlotLocked returns the lowest free worker slot, or -1.
+func (s *Server) freeSlotLocked() int {
+	for i, id := range s.slots {
+		if id == "" {
+			return i
+		}
+	}
+	return -1
+}
+
+// victimLocked picks the running job to preempt for an arrival with the
+// given priority: the lowest-priority running job, provided it is strictly
+// below the arrival (equal priorities never preempt — the queue drains in
+// order instead). Among equals the youngest yields, losing the least
+// progress.
+func (s *Server) victimLocked(priority int) *job {
+	var victim *job
+	for _, id := range s.slots {
+		if id == "" {
+			continue
+		}
+		j := s.jobs[id]
+		if j.preempting || j.cancelRequested {
+			continue
+		}
+		if victim == nil ||
+			j.Spec.Priority < victim.Spec.Priority ||
+			(j.Spec.Priority == victim.Spec.Priority && j.Seq > victim.Seq) {
+			victim = j
+		}
+	}
+	if victim == nil || victim.Spec.Priority >= priority {
+		return nil
+	}
+	return victim
+}
+
+// dispatchLocked is the scheduler: fill free slots in priority order, and
+// when the pool is full, preempt one strictly-lower-priority victim for the
+// best queued job. The victim's worker re-enters dispatch when it yields,
+// so cascaded preemptions and the actual start of the waiting job follow
+// naturally, one slot handoff at a time.
+func (s *Server) dispatchLocked() {
+	if s.draining {
+		return
+	}
+	for {
+		j := s.bestQueuedLocked()
+		if j == nil {
+			return
+		}
+		slot := s.freeSlotLocked()
+		if slot < 0 {
+			if v := s.victimLocked(j.Spec.Priority); v != nil {
+				v.preempting = true
+				v.cancel()
+			}
+			return
+		}
+		s.startLocked(j, slot)
+	}
+}
+
+// startLocked moves a runnable job onto a worker slot.
+func (s *Server) startLocked(j *job, slot int) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j.cancel = cancel
+	j.State = StateRunning
+	j.Slot = slot
+	j.Slots = append(j.Slots, slot)
+	if j.StartedAt == nil {
+		now := time.Now()
+		j.StartedAt = &now
+	}
+	chk := j.Checkpoint
+	if chk != nil {
+		s.resumed.Add(1)
+	}
+	s.slots[slot] = j.ID
+	s.appendEventLocked(j, Event{Type: "state", State: StateRunning})
+	s.spoolLocked(j)
+	s.wg.Add(1)
+	go s.runJob(ctx, cancel, j, slot, chk)
+}
+
+// runJob drives one job on one worker slot: build (or resume) the runner,
+// stream rounds into the event log, and settle the outcome. A context
+// cancellation is either a client cancel or a preemption/shutdown; the
+// latter captures a checkpoint so the job resumes bit-identically — the
+// engine checks its context between rounds, so the checkpoint is always a
+// clean round boundary.
+func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, slot int, chk *snapshot.State) {
+	defer s.wg.Done()
+	defer cancel()
+
+	pace := time.Duration(j.Spec.PaceMS) * time.Millisecond
+	opts := []scenario.Option{scenario.WithObserver(func(_ scenario.Runner, st core.RoundStats) error {
+		s.onRound(j, st)
+		if pace > 0 {
+			t := time.NewTimer(pace)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
+		return nil
+	})}
+	if j.Spec.Workers != nil {
+		opts = append(opts, scenario.WithWorkers(*j.Spec.Workers))
+	}
+	if j.Spec.MaxRounds != nil {
+		opts = append(opts, scenario.WithMaxRounds(*j.Spec.MaxRounds))
+	}
+
+	var r scenario.Runner
+	var err error
+	if chk != nil {
+		r, err = scenario.ResumeRunner(chk, opts...)
+	} else {
+		r, err = scenario.NewRunner(j.Spec.Scenario, opts...)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			// Preempted (or cancelled) before the run even started: keep the
+			// checkpoint we were about to resume from, if any.
+			s.settle(j, slot, nil, chk, context.Canceled)
+			return
+		}
+		s.settle(j, slot, nil, nil, err)
+		return
+	}
+	res, runErr := r.Run(ctx)
+	if errors.Is(runErr, context.Canceled) {
+		st, serr := r.Snapshot()
+		if serr != nil {
+			s.settle(j, slot, nil, nil, fmt.Errorf("checkpointing cancelled run: %w", serr))
+			return
+		}
+		s.settle(j, slot, nil, st, runErr)
+		return
+	}
+	s.settle(j, slot, res, nil, runErr)
+}
+
+// onRound records one completed round into the job's event stream.
+func (s *Server) onRound(j *job, st core.RoundStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.Rounds = st.Round
+	stat := st
+	s.appendEventLocked(j, Event{Type: "round", Round: &stat})
+}
+
+// settle releases the worker slot and applies the run's outcome: done,
+// failed, cancelled, or preempted-with-checkpoint.
+func (s *Server) settle(j *job, slot int, res *core.Result, chk *snapshot.State, runErr error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.slots[slot] = ""
+	j.Slot = -1
+	j.preempting = false
+	j.cancel = nil
+	switch {
+	case errors.Is(runErr, context.Canceled) && j.cancelRequested:
+		s.terminalLocked(j, StateCancelled, "")
+	case errors.Is(runErr, context.Canceled):
+		j.Checkpoint = chk
+		j.State = StatePreempted
+		if chk == nil {
+			// Yielded before any checkpoint existed: replay from the start.
+			j.State = StateQueued
+		}
+		j.Preemptions++
+		s.preempted.Add(1)
+		s.appendEventLocked(j, Event{Type: "state", State: j.State})
+		s.spoolLocked(j)
+	case runErr != nil:
+		s.terminalLocked(j, StateFailed, runErr.Error())
+	default:
+		j.Result = res
+		s.terminalLocked(j, StateDone, "")
+	}
+	s.dispatchLocked()
+}
+
+// statusLocked builds the wire view of a job.
+func (s *Server) statusLocked(j *job) *JobStatus {
+	sc := j.Spec.Scenario
+	return &JobStatus{
+		ID:          j.ID,
+		State:       j.State,
+		Priority:    j.Spec.Priority,
+		Scenario:    sc.Name,
+		Region:      sc.Region,
+		Placement:   sc.Placement,
+		N:           sc.N,
+		Async:       sc.Async,
+		SubmittedAt: j.SubmittedAt,
+		StartedAt:   j.StartedAt,
+		FinishedAt:  j.FinishedAt,
+		Slot:        j.Slot,
+		Slots:       append([]int(nil), j.Slots...),
+		Preemptions: j.Preemptions,
+		Rounds:      j.Rounds,
+		Error:       j.Error,
+		HasResult:   j.Result != nil,
+		Events:      len(j.events),
+	}
+}

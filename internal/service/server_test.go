@@ -1,0 +1,389 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"laacad/internal/core"
+	"laacad/internal/metrics"
+	"laacad/internal/scenario"
+)
+
+// testScenario builds a fast, deterministic ad-hoc scenario. A tiny epsilon
+// keeps the run from converging early, so it executes exactly rounds rounds
+// — the lever the preemption tests use to hold a job mid-run.
+func testScenario(n, rounds int, eps float64, seed int64) scenario.Scenario {
+	cfg := core.DefaultConfig(1)
+	cfg.Epsilon = eps
+	cfg.MaxRounds = rounds
+	cfg.Mode = core.Localized
+	cfg.Gamma = 0.6
+	cfg.Seed = seed
+	return scenario.Scenario{Region: "square", Placement: "uniform", N: n, Config: cfg}
+}
+
+// soloRun executes the scenario uninterrupted in-process: the reference for
+// every bit-identity assertion.
+func soloRun(t *testing.T, sc scenario.Scenario) *core.Result {
+	t.Helper()
+	r, err := scenario.NewRunner(sc)
+	if err != nil {
+		t.Fatalf("solo runner: %v", err)
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("solo run: %v", err)
+	}
+	return res
+}
+
+func newTestServer(t *testing.T, pool int) *Server {
+	t.Helper()
+	s, err := New(Config{SpoolDir: t.TempDir(), Pool: pool, Metrics: &metrics.Registry{}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// state polls a job's current state.
+func state(t *testing.T, s *Server, id string) JobState {
+	t.Helper()
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatalf("status %s: %v", id, err)
+	}
+	return st.State
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	s := newTestServer(t, 1)
+	sc := testScenario(12, 30, 1e-2, 3)
+	st, err := s.Submit(JobSpec{Scenario: sc})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	waitFor(t, 30*time.Second, "job done", func() bool { return state(t, s, st.ID) == StateDone })
+
+	res, err := s.Result(st.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if want := soloRun(t, sc); !reflect.DeepEqual(res, want) {
+		t.Errorf("service result differs from solo run")
+	}
+	snap := s.Metrics().Snapshot()
+	for name, want := range map[string]int64{
+		"service.jobs_accepted":  1,
+		"service.jobs_completed": 1,
+		"service.queue_depth":    0,
+		"service.pool_occupancy": 0,
+	} {
+		if snap[name] != want {
+			t.Errorf("%s = %d, want %d", name, snap[name], want)
+		}
+	}
+}
+
+func TestSubmitValidates(t *testing.T) {
+	s := newTestServer(t, 1)
+	sc := testScenario(12, 30, 1e-2, 3)
+
+	bad := sc
+	bad.Region = "atlantis"
+	if _, err := s.Submit(JobSpec{Scenario: bad}); err == nil || !strings.Contains(err.Error(), "square") {
+		t.Errorf("unknown region should list valid names, got: %v", err)
+	}
+	if _, err := s.Submit(JobSpec{Scenario: sc, PaceMS: -1}); err == nil {
+		t.Error("negative pace_ms should be rejected")
+	}
+	zero := 0
+	if _, err := s.Submit(JobSpec{Scenario: sc, MaxRounds: &zero}); err == nil {
+		t.Error("non-positive max_rounds should be rejected")
+	}
+}
+
+func TestCancelLifecycle(t *testing.T) {
+	s := newTestServer(t, 1)
+	long := testScenario(12, 200, 1e-12, 5)
+
+	a, err := s.Submit(JobSpec{Scenario: long, PaceMS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Submit(JobSpec{Scenario: long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "A running", func() bool { return state(t, s, a.ID) == StateRunning })
+	if got := state(t, s, b.ID); got != StateQueued {
+		t.Fatalf("B state = %s, want queued (pool is 1)", got)
+	}
+
+	// Queued job cancels immediately.
+	st, err := s.Cancel(b.ID)
+	if err != nil || st.State != StateCancelled {
+		t.Fatalf("cancel queued: state=%v err=%v", st.State, err)
+	}
+	// Running job cancels at its next round boundary.
+	if _, err := s.Cancel(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "A cancelled", func() bool { return state(t, s, a.ID) == StateCancelled })
+	// Terminal cancel is idempotent.
+	if st, err := s.Cancel(a.ID); err != nil || st.State != StateCancelled {
+		t.Fatalf("re-cancel: state=%v err=%v", st.State, err)
+	}
+	if _, err := s.Cancel("job-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("cancel unknown = %v, want ErrUnknownJob", err)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap["service.jobs_cancelled"] != 2 || snap["service.jobs_completed"] != 0 {
+		t.Errorf("cancelled=%d completed=%d, want 2/0",
+			snap["service.jobs_cancelled"], snap["service.jobs_completed"])
+	}
+}
+
+// TestPreemptResumeBitIdentical pins the core scheduler guarantee: a job
+// preempted mid-run by a higher-priority arrival resumes from its
+// checkpoint and finishes with exactly the result of an uninterrupted run.
+func TestPreemptResumeBitIdentical(t *testing.T) {
+	s := newTestServer(t, 1)
+	low := testScenario(12, 40, 1e-12, 11) // paced: held mid-run
+	high := testScenario(10, 20, 1e-2, 12) // quick: drains fast
+
+	a, err := s.Submit(JobSpec{Scenario: low, PaceMS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "A past round 2", func() bool {
+		st, _ := s.Status(a.ID)
+		return st != nil && st.Rounds >= 2
+	})
+	h, err := s.Submit(JobSpec{Scenario: high, Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The preempted window can be microseconds (H converges fast and A
+	// resumes immediately), so assert via the monotone preemption counter
+	// rather than trying to observe the transient state.
+	waitFor(t, 10*time.Second, "A preempted", func() bool {
+		st, _ := s.Status(a.ID)
+		return st != nil && st.Preemptions >= 1
+	})
+	waitFor(t, 30*time.Second, "H done", func() bool { return state(t, s, h.ID) == StateDone })
+	waitFor(t, 30*time.Second, "A resumed and done", func() bool { return state(t, s, a.ID) == StateDone })
+
+	st, err := s.Status(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions != 1 {
+		t.Errorf("A preemptions = %d, want 1", st.Preemptions)
+	}
+	res, err := s.Result(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := soloRun(t, low)
+	if !reflect.DeepEqual(res, want) {
+		t.Errorf("preempted+resumed result differs from uninterrupted run:\n got rounds=%d msgs=%d\nwant rounds=%d msgs=%d",
+			res.Rounds, res.Messages, want.Rounds, want.Messages)
+	}
+	snap := s.Metrics().Snapshot()
+	if snap["service.jobs_preempted"] != 1 || snap["service.jobs_resumed"] != 1 {
+		t.Errorf("preempted=%d resumed=%d, want 1/1",
+			snap["service.jobs_preempted"], snap["service.jobs_resumed"])
+	}
+}
+
+// TestEqualPriorityDoesNotPreempt: ties drain in submission order instead
+// of thrashing checkpoints.
+func TestEqualPriorityDoesNotPreempt(t *testing.T) {
+	s := newTestServer(t, 1)
+	long := testScenario(12, 40, 1e-12, 21)
+
+	a, err := s.Submit(JobSpec{Scenario: long, PaceMS: 5, Priority: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "A running", func() bool { return state(t, s, a.ID) == StateRunning })
+	b, err := s.Submit(JobSpec{Scenario: long, Priority: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "A done", func() bool { return state(t, s, a.ID) == StateDone })
+	st, _ := s.Status(a.ID)
+	if st.Preemptions != 0 {
+		t.Errorf("equal-priority arrival preempted A (%d times)", st.Preemptions)
+	}
+	waitFor(t, 30*time.Second, "B done", func() bool { return state(t, s, b.ID) == StateDone })
+}
+
+// TestDrainHundredJobs is the throughput acceptance: ≥100 queued jobs drain
+// over a bounded pool with exact accounting — accepted equals completed +
+// cancelled + failed, and the gauges return to zero.
+func TestDrainHundredJobs(t *testing.T) {
+	s := newTestServer(t, 4)
+	const total = 104
+	ids := make([]string, 0, total)
+	for i := 0; i < total; i++ {
+		sc := testScenario(8, 4, 1e-3, int64(i+1))
+		sc.Config.Mode = core.Centralized
+		st, err := s.Submit(JobSpec{Scenario: sc, Priority: i % 7})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+		if i%10 == 9 {
+			if _, err := s.Cancel(st.ID); err != nil {
+				t.Fatalf("cancel %s: %v", st.ID, err)
+			}
+		}
+	}
+	waitFor(t, 120*time.Second, "queue drained", s.Idle)
+
+	snap := s.Metrics().Snapshot()
+	if snap["service.jobs_accepted"] != total {
+		t.Errorf("accepted = %d, want %d", snap["service.jobs_accepted"], total)
+	}
+	sum := snap["service.jobs_completed"] + snap["service.jobs_cancelled"] + snap["service.jobs_failed"]
+	if sum != snap["service.jobs_accepted"] {
+		t.Errorf("completed+cancelled+failed = %d, want accepted = %d", sum, snap["service.jobs_accepted"])
+	}
+	if snap["service.queue_depth"] != 0 || snap["service.pool_occupancy"] != 0 {
+		t.Errorf("queue_depth=%d pool_occupancy=%d after drain, want 0/0",
+			snap["service.queue_depth"], snap["service.pool_occupancy"])
+	}
+	for _, id := range ids {
+		if st := state(t, s, id); !st.Terminal() {
+			t.Errorf("%s still %s after drain", id, st)
+		}
+	}
+}
+
+// TestRestartRecovery: a daemon shutdown checkpoints running work, and a
+// fresh Server over the same spool resumes it to the bit-identical result.
+func TestRestartRecovery(t *testing.T) {
+	spool := t.TempDir()
+	sc := testScenario(12, 40, 1e-12, 31)
+
+	s1, err := New(Config{SpoolDir: spool, Pool: 1, Metrics: &metrics.Registry{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s1.Submit(JobSpec{Scenario: sc, PaceMS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedID, err := s1.Submit(JobSpec{Scenario: testScenario(8, 4, 1e-3, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "A past round 2", func() bool {
+		st, _ := s1.Status(a.ID)
+		return st != nil && st.Rounds >= 2
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if st := state(t, s1, a.ID); st != StatePreempted {
+		t.Fatalf("after shutdown A = %s, want preempted", st)
+	}
+
+	// "Restart": a new server over the same spool picks both jobs up.
+	s2, err := New(Config{SpoolDir: spool, Pool: 1, Metrics: &metrics.Registry{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+	for _, w := range s2.Warnings() {
+		t.Errorf("unexpected recovery warning: %v", w)
+	}
+	// The resumed job's event stream replays the checkpointed rounds.
+	evs, _, _, err := s2.Events(a.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	for _, e := range evs {
+		if e.Type == "round" {
+			rounds++
+		}
+	}
+	if rounds < 2 {
+		t.Errorf("recovered event stream has %d round events, want >= 2", rounds)
+	}
+
+	waitFor(t, 60*time.Second, "both jobs done", func() bool {
+		return state(t, s2, a.ID) == StateDone && state(t, s2, queuedID.ID) == StateDone
+	})
+	res, err := s2.Result(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := soloRun(t, sc); !reflect.DeepEqual(res, want) {
+		t.Error("post-restart result differs from uninterrupted run")
+	}
+	st, _ := s2.Status(a.ID)
+	if st.Preemptions != 1 {
+		t.Errorf("A preemptions = %d, want 1 (the shutdown)", st.Preemptions)
+	}
+}
+
+func TestSpoolSkipsCorruptFiles(t *testing.T) {
+	spool := t.TempDir()
+	if err := os.WriteFile(filepath.Join(spool, "job-000001.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(spool, "notes.txt"), []byte("unrelated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{SpoolDir: spool, Pool: 1, Metrics: &metrics.Registry{}})
+	if err != nil {
+		t.Fatalf("New over dirty spool: %v", err)
+	}
+	if len(s.Warnings()) != 1 {
+		t.Errorf("warnings = %v, want exactly one (the corrupt record)", s.Warnings())
+	}
+	if len(s.List()) != 0 {
+		t.Errorf("jobs = %d, want 0", len(s.List()))
+	}
+	// The queue still works.
+	st, err := s.Submit(JobSpec{Scenario: testScenario(8, 4, 1e-3, 41)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 30*time.Second, "job done", func() bool { return state(t, s, st.ID) == StateDone })
+}
