@@ -8,8 +8,9 @@
 //
 // Usage:
 //
-//	laacadd serve  -addr localhost:7600 -spool ./spool -pool 4
+//	laacadd serve  -addr localhost:7600 -spool ./spool -pool 4 -sync always
 //	laacadd submit -scenario corner -priority 5
+//	laacadd submit -scenario corner -id run-42 -retries 3 -deadline-ms 60000
 //	laacadd submit -file job.json            # a full JobSpec document
 //	laacadd status [job-000001]              # list all, or one job
 //	laacadd watch  job-000001                # follow the SSE round stream
@@ -35,6 +36,7 @@ import (
 
 	"laacad"
 
+	"laacad/internal/fault"
 	metricshttp "laacad/internal/metrics"
 	"laacad/internal/service"
 )
@@ -77,10 +79,31 @@ func serveCmd(args []string, out io.Writer) error {
 	addr := fs.String("addr", "localhost:7600", "HTTP listen address")
 	spool := fs.String("spool", "laacadd-spool", "durable job spool directory")
 	pool := fs.Int("pool", 0, "worker slots (concurrent runs); 0 = all CPUs")
+	syncMode := fs.String("sync", "always", "journal fsync policy: always (crash-safe) or none (faster, trusts the OS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := service.New(service.Config{SpoolDir: *spool, Pool: *pool})
+	cfg := service.Config{SpoolDir: *spool, Pool: *pool}
+	switch *syncMode {
+	case "always":
+		cfg.Journal.Sync = service.SyncAlways
+	case "none":
+		cfg.Journal.Sync = service.SyncNone
+	default:
+		return fmt.Errorf("-sync must be always or none, got %q", *syncMode)
+	}
+	// LAACAD_FAULT arms deterministic fault injection on the spool's
+	// filesystem operations — the chaos-testing seam, e.g.
+	// "crash:write:40" or "tear:write:3:10,fail:sync:2". Empty means none.
+	rules, err := fault.FromEnv("LAACAD_FAULT")
+	if err != nil {
+		return err
+	}
+	if len(rules) > 0 {
+		cfg.FS = fault.NewInject(fault.OS{}, rules...)
+		fmt.Fprintf(out, "laacadd: fault injection armed (%d rule(s) from LAACAD_FAULT)\n", len(rules))
+	}
+	srv, err := service.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -132,6 +155,10 @@ func submitCmd(args []string, out io.Writer) error {
 		workers  = fs.Int("workers", 0, "engine worker goroutines (0 = daemon default)")
 		rounds   = fs.Int("rounds", 0, "override the scenario's round budget (0 = keep)")
 		pace     = fs.Int("pace", 0, "minimum milliseconds per round (observation pacing)")
+		id       = fs.String("id", "", "client-supplied idempotency ID; makes the POST safe to retry")
+		retries  = fs.Int("retries", 0, "requeue a failed run up to this many times with backoff")
+		backoff  = fs.Int("backoff-ms", 0, "base retry backoff in milliseconds (0 = daemon default)")
+		deadline = fs.Int("deadline-ms", 0, "wall-clock budget from submission; expiry fails the job")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -167,7 +194,25 @@ func submitCmd(args []string, out io.Writer) error {
 	if *pace != 0 {
 		spec.PaceMS = *pace
 	}
-	st, err := client().Submit(context.Background(), spec)
+	if *id != "" {
+		spec.ClientID = *id
+	}
+	if *retries != 0 {
+		spec.MaxRetries = *retries
+	}
+	if *backoff != 0 {
+		spec.RetryBackoffMS = *backoff
+	}
+	if *deadline != 0 {
+		spec.DeadlineMS = *deadline
+	}
+	c := client()
+	if spec.ClientID != "" {
+		// An idempotency key makes retransmission safe, so use it: ride out
+		// daemon restarts and drains instead of failing the submission.
+		c.MaxRetries = 5
+	}
+	st, err := c.Submit(context.Background(), spec)
 	if err != nil {
 		return err
 	}

@@ -139,17 +139,16 @@ func TestDaemonSmoke(t *testing.T) {
 	waitJob(t, client, id, "running past round 2", func(st *service.JobStatus) bool { return st.Rounds >= 2 })
 	stop()
 
-	// The spool holds the checkpointed job.
-	rec, err := os.ReadFile(filepath.Join(spool, id+".json"))
+	// The journal holds the checkpointed job.
+	jobs, err := service.LoadJobs(spool)
 	if err != nil {
-		t.Fatalf("spooled record: %v", err)
+		t.Fatalf("replaying journal: %v", err)
 	}
-	var job service.Job
-	if err := json.Unmarshal(rec, &job); err != nil {
-		t.Fatalf("decoding spooled record: %v", err)
+	if len(jobs) != 1 || jobs[0].ID != id {
+		t.Fatalf("journal holds %d jobs, want exactly %s", len(jobs), id)
 	}
-	if job.State != service.StatePreempted || job.Checkpoint == nil {
-		t.Fatalf("spooled job state=%s checkpoint=%v, want preempted with checkpoint", job.State, job.Checkpoint != nil)
+	if job := jobs[0]; job.State != service.StatePreempted || job.Checkpoint == nil {
+		t.Fatalf("journaled job state=%s checkpoint=%v, want preempted with checkpoint", job.State, job.Checkpoint != nil)
 	}
 
 	// Restart over the same spool: the job resumes and finishes.

@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for retry/backoff and deadline policy: Wall is the
+// real clock, Manual is a test clock advanced by hand so backoff schedules
+// that span minutes execute in microseconds — deterministically.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the (then-current) time once d
+	// has elapsed. Non-positive d fires immediately.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Wall is the passthrough Clock over real time.
+type Wall struct{}
+
+// Now implements Clock.
+func (Wall) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Wall) After(d time.Duration) <-chan time.Time {
+	if d <= 0 {
+		ch := make(chan time.Time, 1)
+		ch <- time.Now()
+		return ch
+	}
+	return time.After(d)
+}
+
+// Manual is a hand-advanced Clock. The zero value starts at the Unix epoch;
+// use NewManual to pick a start. All methods are safe for concurrent use.
+type Manual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []manualTimer
+}
+
+type manualTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewManual returns a Manual clock reading start.
+func NewManual(start time.Time) *Manual { return &Manual{now: start} }
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// After implements Clock: the channel fires when Advance moves the clock to
+// (or past) now+d. Non-positive d fires immediately.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.timers = append(m.timers, manualTimer{at: m.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline is
+// reached, in deadline order.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	var due []manualTimer
+	rest := m.timers[:0]
+	for _, t := range m.timers {
+		if !t.at.After(now) {
+			due = append(due, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	m.timers = rest
+	m.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, t := range due {
+		t.ch <- now
+	}
+}
+
+// Pending reports how many timers are waiting — the lever tests use to wait
+// for the system under test to block on the clock before advancing it.
+func (m *Manual) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.timers)
+}
+
+var _ Clock = (*Manual)(nil)

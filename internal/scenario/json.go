@@ -9,6 +9,7 @@ import (
 	"laacad/internal/core"
 	"laacad/internal/sim"
 	"laacad/internal/snapshot"
+	"laacad/internal/wsn"
 )
 
 // Scenario wire format.
@@ -157,6 +158,21 @@ func (s Scenario) Validate() error {
 	}
 	if c.Mode == core.Localized && c.Gamma <= 0 {
 		return fmt.Errorf("scenario: localized mode needs gamma > 0, got %v", c.Gamma)
+	}
+	if c.RingMode != wsn.RingGeometric && c.RingMode != wsn.RingHopLimited {
+		return fmt.Errorf("scenario: unknown ring_mode %d (0 = geometric, 1 = hop-limited)", int(c.RingMode))
+	}
+	if c.LossRate < 0 || c.LossRate >= 1 {
+		return fmt.Errorf("scenario: loss_rate must be in [0, 1), got %v", c.LossRate)
+	}
+	if c.LossRetries < 0 {
+		return fmt.Errorf("scenario: loss_retries must be non-negative, got %d", c.LossRetries)
+	}
+	if c.RingCap < 0 {
+		return fmt.Errorf("scenario: ring_cap must be non-negative, got %v", c.RingCap)
+	}
+	if c.LossRate > 0 && c.Mode != core.Localized {
+		return fmt.Errorf("scenario: loss_rate %v needs localized mode (message loss models the expanding-ring query's link layer)", c.LossRate)
 	}
 	return nil
 }

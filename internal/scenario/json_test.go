@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"laacad/internal/core"
+	"laacad/internal/wsn"
 )
 
 // Every registered scenario must survive a JSON round-trip exactly: the
@@ -91,6 +92,117 @@ func TestValidateListsValidNames(t *testing.T) {
 	sc.Config.MaxRounds = 0
 	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "max_rounds") {
 		t.Errorf("zero max_rounds should be rejected, got: %v", err)
+	}
+}
+
+// The lossy-ring knobs (loss_rate, loss_retries, ring_mode, ring_cap) ride
+// the wire inside the config block: a submitted scenario that models an
+// unreliable link layer must reach the daemon with those knobs intact, and
+// nonsense values must be rejected at submit time, not deep inside a run.
+func TestScenarioJSONLossyRingKnobs(t *testing.T) {
+	base := func() Scenario {
+		sc, err := Lookup("uniform")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Config.Mode = core.Localized
+		sc.Config.Gamma = 0.6
+		sc.Config.RingMode = wsn.RingHopLimited
+		sc.Config.LossRate = 0.15
+		sc.Config.LossRetries = 4
+		sc.Config.RingCap = 2.5
+		return sc
+	}
+
+	sc := base()
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"ring_mode":1`, `"loss_rate":0.15`, `"loss_retries":4`, `"ring_cap":2.5`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("wire form missing %s:\n%s", field, data)
+		}
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatalf("lossy scenario failed to parse: %v", err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Errorf("round-trip changed the lossy scenario\n got: %+v\nwant: %+v", back, sc)
+	}
+
+	sc = base()
+	sc.Config.RingMode = wsn.RingQueryMode(3)
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "ring_mode") {
+		t.Errorf("out-of-range ring_mode should be rejected, got: %v", err)
+	}
+
+	sc = base()
+	sc.Config.LossRate = 1.0 // certain loss can never terminate
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "loss_rate") {
+		t.Errorf("loss_rate 1.0 should be rejected, got: %v", err)
+	}
+
+	sc = base()
+	sc.Config.LossRate = -0.1
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "loss_rate") {
+		t.Errorf("negative loss_rate should be rejected, got: %v", err)
+	}
+
+	sc = base()
+	sc.Config.LossRetries = -1
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "loss_retries") {
+		t.Errorf("negative loss_retries should be rejected, got: %v", err)
+	}
+
+	sc = base()
+	sc.Config.RingCap = -1
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "ring_cap") {
+		t.Errorf("negative ring_cap should be rejected, got: %v", err)
+	}
+
+	sc = base()
+	sc.Config.Mode = core.Centralized
+	sc.Config.Gamma = 0
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "localized") {
+		t.Errorf("loss_rate outside localized mode should be rejected, got: %v", err)
+	}
+}
+
+// A decoded lossy scenario must also RUN identically — the loss draws come
+// from the seeded per-node streams, so the wire format must not perturb them.
+func TestDecodedLossyScenarioRunsIdentically(t *testing.T) {
+	sc, err := Lookup("uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc = sc.WithSeed(7)
+	sc.N = 30
+	sc.Config.MaxRounds = 6
+	sc.Config.Mode = core.Localized
+	sc.Config.Gamma = 0.6
+	sc.Config.LossRate = 0.2
+	sc.Config.LossRetries = 3
+
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(context.Background(), back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Positions, got.Positions) || !reflect.DeepEqual(want.Trace, got.Trace) {
+		t.Error("decoded lossy scenario produced a different run")
 	}
 }
 

@@ -9,16 +9,30 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"laacad/internal/core"
+	"laacad/internal/fault"
 )
 
-// Client talks to a laacadd daemon over HTTP.
+// Client talks to a laacadd daemon over HTTP. Requests that are safe to
+// repeat (reads, cancels, and submissions carrying a ClientID) are retried
+// on connection errors and 5xx responses with exponential backoff, honoring
+// the daemon's Retry-After header when it names a comeback time.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://localhost:7600".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// MaxRetries bounds retransmissions of retriable requests (default 0:
+	// fail fast; the laacadd CLI sets it for submissions with an -id).
+	MaxRetries int
+	// RetryBackoff is the base backoff between attempts (default 100ms),
+	// doubling per retry. Retry-After overrides the computed wait.
+	RetryBackoff time.Duration
+	// Clock lets tests run the backoff schedule instantly; nil means the
+	// wall clock.
+	Clock fault.Clock
 }
 
 func (c *Client) http() *http.Client {
@@ -26,6 +40,49 @@ func (c *Client) http() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+func (c *Client) clock() fault.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return fault.Wall{}
+}
+
+// backoffWait sleeps between retry attempts (0-based), honoring a
+// Retry-After duration when the server provided one. Returns ctx.Err() on
+// cancellation.
+func (c *Client) backoffWait(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	wait := c.RetryBackoff
+	if wait <= 0 {
+		wait = 100 * time.Millisecond
+	}
+	wait <<= uint(attempt)
+	if retryAfter > 0 {
+		wait = retryAfter
+	}
+	select {
+	case <-c.clock().After(wait):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// parseRetryAfter reads a Retry-After header (seconds form) from a response.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	var secs int
+	if _, err := fmt.Sscanf(v, "%d", &secs); err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // apiError decodes the daemon's {"error": ...} body for non-2xx responses.
@@ -41,40 +98,63 @@ func apiError(resp *http.Response) error {
 }
 
 // do issues a request and decodes a JSON response into out (if non-nil).
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+// When retriable, connection errors and 5xx responses are retransmitted up
+// to MaxRetries times with backoff (Retry-After wins when present); other
+// statuses are terminal — a 400 will not improve with repetition.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, retriable bool) error {
+	var data []byte
 	if in != nil {
-		data, err := json.Marshal(in)
+		var err error
+		if data, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var body io.Reader
+		if in != nil {
+			body = bytes.NewReader(data)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(data)
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		var retryAfter time.Duration
+		resp, err := c.http().Do(req)
+		if err == nil {
+			if resp.StatusCode >= 200 && resp.StatusCode <= 299 {
+				defer resp.Body.Close()
+				if out == nil {
+					return nil
+				}
+				return json.NewDecoder(resp.Body).Decode(out)
+			}
+			retryAfter = parseRetryAfter(resp)
+			err = apiError(resp)
+			resp.Body.Close()
+			if resp.StatusCode < 500 {
+				return err
+			}
+		}
+		lastErr = err
+		if !retriable || attempt >= c.MaxRetries || ctx.Err() != nil {
+			return lastErr
+		}
+		if werr := c.backoffWait(ctx, attempt, retryAfter); werr != nil {
+			return lastErr
+		}
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
-	if err != nil {
-		return err
-	}
-	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return apiError(resp)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit sends a job spec; the daemon validates, spools, and schedules it.
+// Submit sends a job spec; the daemon validates, journals, and schedules
+// it. A spec with a ClientID is safe to retransmit — the daemon deduplicates
+// — so only those submissions participate in retry.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobStatus, error) {
 	var st JobStatus
-	if err := c.do(ctx, http.MethodPost, "/jobs", spec, &st); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/jobs", spec, &st, spec.ClientID != ""); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -83,7 +163,7 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobStatus, error) {
 // Jobs lists every job the daemon knows, in submission order.
 func (c *Client) Jobs(ctx context.Context) ([]*JobStatus, error) {
 	var out []*JobStatus
-	if err := c.do(ctx, http.MethodGet, "/jobs", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/jobs", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -92,7 +172,7 @@ func (c *Client) Jobs(ctx context.Context) ([]*JobStatus, error) {
 // Job fetches one job's status.
 func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	var st JobStatus
-	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &st, true); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -101,7 +181,7 @@ func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 // Cancel requests cancellation (idempotent) and returns the updated status.
 func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
 	var st JobStatus
-	if err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, &st, true); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -110,7 +190,7 @@ func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
 // Result fetches a finished job's deployment result.
 func (c *Client) Result(ctx context.Context, id string) (*core.Result, error) {
 	var res core.Result
-	if err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, &res); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/jobs/"+id+"/result", nil, &res, true); err != nil {
 		return nil, err
 	}
 	return &res, nil
@@ -119,7 +199,7 @@ func (c *Client) Result(ctx context.Context, id string) (*core.Result, error) {
 // Metrics fetches the daemon's metrics snapshot.
 func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 	var out map[string]int64
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -128,15 +208,31 @@ func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
 // Watch follows a job's SSE event stream from after the given event ID,
 // invoking fn for each event in order. It reconnects automatically (with
 // its cursor, so nothing is duplicated or lost) and returns nil once the
-// job reaches a terminal state, or ctx's error on cancellation.
+// job reaches a terminal state, or ctx's error on cancellation. Reconnects
+// back off exponentially while the daemon is unreachable and reset as soon
+// as events flow again.
 func (c *Client) Watch(ctx context.Context, id string, after int, fn func(Event) error) error {
+	attempt := 0
 	for {
+		before := after
 		terminal, err := c.watchOnce(ctx, id, &after, fn)
 		if terminal || ctx.Err() != nil {
 			return err
 		}
 		// Stream ended without a terminal event (daemon restart, network
-		// hiccup): reconnect from the cursor.
+		// hiccup): reconnect from the cursor, pausing if no progress was
+		// made so a down daemon is not hammered.
+		if after > before {
+			attempt = 0
+			continue
+		}
+		if attempt > 6 {
+			attempt = 6 // cap the wait at base·2⁶
+		}
+		if werr := c.backoffWait(ctx, attempt, 0); werr != nil {
+			return werr
+		}
+		attempt++
 	}
 }
 

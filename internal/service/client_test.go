@@ -1,0 +1,144 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"laacad/internal/fault"
+)
+
+// scriptedTransport serves canned responses (or errors) in order, recording
+// how many attempts the client made. The last entry repeats.
+type scriptedTransport struct {
+	attempts atomic.Int64
+	script   []func() (*http.Response, error)
+}
+
+func (s *scriptedTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	n := int(s.attempts.Add(1)) - 1
+	if n >= len(s.script) {
+		n = len(s.script) - 1
+	}
+	return s.script[n]()
+}
+
+func respond(code int, headers map[string]string, body string) func() (*http.Response, error) {
+	return func() (*http.Response, error) {
+		h := http.Header{}
+		for k, v := range headers {
+			h.Set(k, v)
+		}
+		return &http.Response{
+			StatusCode: code,
+			Status:     http.StatusText(code),
+			Header:     h,
+			Body:       io.NopCloser(strings.NewReader(body)),
+		}, nil
+	}
+}
+
+func fail(err error) func() (*http.Response, error) {
+	return func() (*http.Response, error) { return nil, err }
+}
+
+func retryClient(tr *scriptedTransport, clock fault.Clock) *Client {
+	return &Client{
+		BaseURL:    "http://daemon.test",
+		HTTPClient: &http.Client{Transport: tr},
+		MaxRetries: 3,
+		Clock:      clock,
+	}
+}
+
+func TestClientRetriesIdempotentSubmit(t *testing.T) {
+	clock := fault.NewManual(time.Unix(0, 0))
+	tr := &scriptedTransport{script: []func() (*http.Response, error){
+		fail(errors.New("connection refused")),
+		respond(http.StatusBadGateway, nil, `{"error":"upstream"}`),
+		respond(http.StatusOK, nil, `{"id":"job-000001","state":"queued","slot":-1}`),
+	}}
+	c := retryClient(tr, clock)
+
+	done := make(chan error, 1)
+	var st *JobStatus
+	go func() {
+		var err error
+		st, err = c.Submit(context.Background(), JobSpec{ClientID: "c1"})
+		done <- err
+	}()
+	// Two backoff waits separate the three attempts.
+	for i := 0; i < 2; i++ {
+		waitFor(t, 10*time.Second, "client parked on backoff", func() bool { return clock.Pending() > 0 })
+		clock.Advance(time.Minute)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Submit after retries: %v", err)
+	}
+	if st.ID != "job-000001" {
+		t.Fatalf("status = %+v", st)
+	}
+	if got := tr.attempts.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	clock := fault.NewManual(time.Unix(0, 0))
+	tr := &scriptedTransport{script: []func() (*http.Response, error){
+		respond(http.StatusServiceUnavailable, map[string]string{"Retry-After": "3"}, `{"error":"service: server is draining"}`),
+		respond(http.StatusOK, nil, `{"id":"job-000002","state":"queued","slot":-1}`),
+	}}
+	c := retryClient(tr, clock)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Submit(context.Background(), JobSpec{ClientID: "c2"})
+		done <- err
+	}()
+	waitFor(t, 10*time.Second, "client parked on Retry-After", func() bool { return clock.Pending() > 0 })
+	// Before the advertised 3 seconds, no retransmission.
+	clock.Advance(2 * time.Second)
+	time.Sleep(20 * time.Millisecond)
+	if got := tr.attempts.Load(); got != 1 {
+		t.Fatalf("attempts before Retry-After elapsed = %d, want 1", got)
+	}
+	clock.Advance(time.Second)
+	if err := <-done; err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if got := tr.attempts.Load(); got != 2 {
+		t.Fatalf("attempts = %d, want 2", got)
+	}
+}
+
+func TestClientDoesNotRetryWithoutClientID(t *testing.T) {
+	tr := &scriptedTransport{script: []func() (*http.Response, error){
+		fail(errors.New("connection refused")),
+	}}
+	c := retryClient(tr, fault.NewManual(time.Unix(0, 0)))
+	if _, err := c.Submit(context.Background(), JobSpec{}); err == nil {
+		t.Fatal("Submit without ClientID should fail fast")
+	}
+	if got := tr.attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry without idempotency key)", got)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	tr := &scriptedTransport{script: []func() (*http.Response, error){
+		respond(http.StatusBadRequest, nil, `{"error":"service: bad spec"}`),
+	}}
+	c := retryClient(tr, fault.NewManual(time.Unix(0, 0)))
+	if _, err := c.Submit(context.Background(), JobSpec{ClientID: "c3"}); err == nil {
+		t.Fatal("400 must surface, not retry")
+	}
+	if got := tr.attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (a 400 will not improve)", got)
+	}
+}

@@ -54,6 +54,9 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
+		// A draining daemon is about to restart; tell well-behaved clients
+		// when to come back instead of letting them hammer the socket.
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -34,11 +34,7 @@
 package service
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
-	"strings"
 	"time"
 
 	"laacad/internal/core"
@@ -92,6 +88,22 @@ type JobSpec struct {
 	// observation pacing for demos and streaming clients (and the lever
 	// tests use to hold a job mid-run). Pacing never changes results.
 	PaceMS int `json:"pace_ms,omitempty"`
+	// ClientID, if set, makes submission idempotent: resubmitting a spec
+	// with the same ClientID returns the already-accepted job instead of
+	// creating a duplicate. This is what lets a client safely retry a POST
+	// whose acknowledgment was lost.
+	ClientID string `json:"client_id,omitempty"`
+	// MaxRetries re-queues a failed run up to this many times (with
+	// exponential backoff) before the job settles as failed.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// RetryBackoffMS is the base retry backoff in milliseconds (default
+	// 100): retry i waits base·2^(i-1) plus deterministic jitter.
+	RetryBackoffMS int `json:"retry_backoff_ms,omitempty"`
+	// DeadlineMS, if positive, is a wall-clock budget measured from
+	// submission. A job that is not terminal when it expires fails with
+	// error "deadline_exceeded" — including a running job, which is
+	// cancelled at its next round boundary.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
 }
 
 // Validate rejects a spec that could not run, with submit-time errors (the
@@ -107,12 +119,22 @@ func (sp JobSpec) Validate() error {
 	if sp.PaceMS < 0 {
 		return fmt.Errorf("service: pace_ms must be non-negative, got %d", sp.PaceMS)
 	}
+	if sp.MaxRetries < 0 {
+		return fmt.Errorf("service: max_retries must be non-negative, got %d", sp.MaxRetries)
+	}
+	if sp.RetryBackoffMS < 0 {
+		return fmt.Errorf("service: retry_backoff_ms must be non-negative, got %d", sp.RetryBackoffMS)
+	}
+	if sp.DeadlineMS < 0 {
+		return fmt.Errorf("service: deadline_ms must be non-negative, got %d", sp.DeadlineMS)
+	}
 	return sc.Validate()
 }
 
-// Job is the durable job record — exactly what one spool file holds. The
-// Server mutates it under its lock and rewrites the file on every state
-// transition, so the spool is always a consistent picture of the queue.
+// Job is the durable job record — exactly what one journal record holds.
+// The Server mutates it under its lock and appends a fresh record on every
+// state transition, so replaying the journal (latest record per ID wins)
+// always reconstructs a consistent picture of the queue.
 type Job struct {
 	ID  string `json:"id"`
 	Seq uint64 `json:"seq"`
@@ -133,6 +155,14 @@ type Job struct {
 	// Rounds is the last completed round observed from the run.
 	Rounds int    `json:"rounds,omitempty"`
 	Error  string `json:"error,omitempty"`
+
+	// Retries counts failed runs the retry policy has re-queued.
+	Retries int `json:"retries,omitempty"`
+	// NotBefore, when set, holds the job out of the scheduler until the
+	// backoff expires.
+	NotBefore *time.Time `json:"not_before,omitempty"`
+	// Deadline is the absolute expiry derived from Spec.DeadlineMS.
+	Deadline *time.Time `json:"deadline,omitempty"`
 
 	// Checkpoint is the resume point of a preempted (or interrupted) job.
 	Checkpoint *snapshot.State `json:"checkpoint,omitempty"`
@@ -170,65 +200,15 @@ type JobStatus struct {
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 
-	Slot        int    `json:"slot"`
-	Slots       []int  `json:"slots,omitempty"`
-	Preemptions int    `json:"preemptions,omitempty"`
-	Rounds      int    `json:"rounds,omitempty"`
-	Error       string `json:"error,omitempty"`
-	HasResult   bool   `json:"has_result"`
-	Events      int    `json:"events"`
-}
-
-// Spool IO. One file per job, written via temp+rename so a crash mid-write
-// never leaves a truncated record.
-
-func spoolPath(dir, id string) string { return filepath.Join(dir, id+".json") }
-
-func writeJobFile(dir string, j *Job) error {
-	data, err := json.MarshalIndent(j, "", " ")
-	if err != nil {
-		return fmt.Errorf("service: encoding job %s: %w", j.ID, err)
-	}
-	tmp := spoolPath(dir, j.ID) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("service: spooling job %s: %w", j.ID, err)
-	}
-	if err := os.Rename(tmp, spoolPath(dir, j.ID)); err != nil {
-		return fmt.Errorf("service: spooling job %s: %w", j.ID, err)
-	}
-	return nil
-}
-
-// loadJobFiles reads every job record in dir. Corrupt or foreign files are
-// skipped and reported, not fatal: a damaged record must not keep the rest
-// of the queue from draining.
-func loadJobFiles(dir string) ([]*Job, []error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, []error{fmt.Errorf("service: reading spool %s: %w", dir, err)}
-	}
-	var jobs []*Job
-	var warns []error
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".tmp") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			warns = append(warns, fmt.Errorf("service: reading %s: %w", name, err))
-			continue
-		}
-		var j Job
-		if err := json.Unmarshal(data, &j); err != nil {
-			warns = append(warns, fmt.Errorf("service: decoding %s: %w", name, err))
-			continue
-		}
-		if j.ID == "" || j.ID+".json" != name {
-			warns = append(warns, fmt.Errorf("service: %s: job id %q does not match file name", name, j.ID))
-			continue
-		}
-		jobs = append(jobs, &j)
-	}
-	return jobs, warns
+	Slot        int        `json:"slot"`
+	Slots       []int      `json:"slots,omitempty"`
+	Preemptions int        `json:"preemptions,omitempty"`
+	Rounds      int        `json:"rounds,omitempty"`
+	Error       string     `json:"error,omitempty"`
+	ClientID    string     `json:"client_id,omitempty"`
+	Retries     int        `json:"retries,omitempty"`
+	NotBefore   *time.Time `json:"not_before,omitempty"`
+	Deadline    *time.Time `json:"deadline,omitempty"`
+	HasResult   bool       `json:"has_result"`
+	Events      int        `json:"events"`
 }

@@ -2,15 +2,17 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
+	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"laacad/internal/core"
+	"laacad/internal/fault"
 	"laacad/internal/metrics"
 	"laacad/internal/scenario"
 	"laacad/internal/snapshot"
@@ -29,7 +31,8 @@ var (
 // Config parameterizes a Server.
 type Config struct {
 	// SpoolDir is the durable job spool (required). The server owns the
-	// directory: one JSON record per job, rewritten on every transition.
+	// directory: an append-only journal of job transition records (see
+	// OpenJournal for the format and crash-recovery semantics).
 	SpoolDir string
 	// Pool is the number of worker slots — concurrent laacad runs. Zero or
 	// negative means runtime.NumCPU().
@@ -38,6 +41,20 @@ type Config struct {
 	// otherwise the server creates its own registry. Either way the
 	// registry is exposed at /metrics by Handler.
 	Metrics *metrics.Registry
+	// FS is the filesystem seam every durable operation runs through; nil
+	// means the real filesystem. Fault-injection tests interpose here.
+	FS fault.FS
+	// Clock drives retry backoff and deadlines; nil means the wall clock.
+	// Policy tests substitute a fault.Manual clock.
+	Clock fault.Clock
+	// Journal tunes the job journal (sync policy, segment rotation,
+	// compaction). Its FS field, if nil, inherits Config.FS.
+	Journal JournalOptions
+	// RunHook, if set, is consulted at the start of every run attempt; a
+	// non-nil error fails the attempt without touching the engine. It is a
+	// deterministic seam for retry-policy tests (fail the first k attempts
+	// of a job, then let it through).
+	RunHook func(id string, attempt int) error
 }
 
 // job is the runtime wrapper around the durable record: scheduling state
@@ -49,6 +66,7 @@ type job struct {
 	cancel          context.CancelFunc
 	preempting      bool
 	cancelRequested bool
+	deadlined       bool
 
 	events []Event
 	// notify is closed and replaced every time an event is appended;
@@ -59,25 +77,37 @@ type job struct {
 // Server owns the job queue, the spool, and the worker pool. Create with
 // New; all methods are safe for concurrent use.
 type Server struct {
-	cfg  Config
-	pool int
-	reg  *metrics.Registry
+	cfg     Config
+	pool    int
+	reg     *metrics.Registry
+	journal *Journal
+	clock   fault.Clock
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	slots    []string // job ID per worker slot; "" = free
+	clients  map[string]string // ClientID -> job ID (idempotent submission)
+	slots    []string          // job ID per worker slot; "" = free
 	seq      uint64
 	draining bool
 	warns    []error
 
 	wg sync.WaitGroup
 
-	accepted  *metrics.Counter
-	completed *metrics.Counter
-	failed    *metrics.Counter
-	cancelled *metrics.Counter
-	preempted *metrics.Counter
-	resumed   *metrics.Counter
+	// wake nudges the policy loop after anything that changes the next
+	// backoff/deadline instant; stop ends it.
+	wake     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	accepted    *metrics.Counter
+	completed   *metrics.Counter
+	failed      *metrics.Counter
+	cancelled   *metrics.Counter
+	preempted   *metrics.Counter
+	resumed     *metrics.Counter
+	retried     *metrics.Counter
+	deadlined   *metrics.Counter
+	quarantined *metrics.Counter
 }
 
 // New builds a Server over the spool directory, recovering any jobs a
@@ -90,9 +120,6 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SpoolDir == "" {
 		return nil, fmt.Errorf("service: Config.SpoolDir is required")
 	}
-	if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
-		return nil, fmt.Errorf("service: creating spool: %w", err)
-	}
 	pool := cfg.Pool
 	if pool <= 0 {
 		pool = runtime.NumCPU()
@@ -101,19 +128,40 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = &metrics.Registry{}
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = fault.Wall{}
+	}
+	jopts := cfg.Journal
+	if jopts.FS == nil {
+		jopts.FS = cfg.FS
+	}
+	jopts = jopts.withDefaults()
+	jl, recovery, err := OpenJournal(cfg.SpoolDir, jopts)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		cfg:   cfg,
-		pool:  pool,
-		reg:   reg,
-		jobs:  make(map[string]*job),
-		slots: make([]string, pool),
+		cfg:     cfg,
+		pool:    pool,
+		reg:     reg,
+		journal: jl,
+		clock:   clock,
+		jobs:    make(map[string]*job),
+		clients: make(map[string]string),
+		slots:   make([]string, pool),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
 
-		accepted:  reg.Counter("service.jobs_accepted"),
-		completed: reg.Counter("service.jobs_completed"),
-		failed:    reg.Counter("service.jobs_failed"),
-		cancelled: reg.Counter("service.jobs_cancelled"),
-		preempted: reg.Counter("service.jobs_preempted"),
-		resumed:   reg.Counter("service.jobs_resumed"),
+		accepted:    reg.Counter("service.jobs_accepted"),
+		completed:   reg.Counter("service.jobs_completed"),
+		failed:      reg.Counter("service.jobs_failed"),
+		cancelled:   reg.Counter("service.jobs_cancelled"),
+		preempted:   reg.Counter("service.jobs_preempted"),
+		resumed:     reg.Counter("service.jobs_resumed"),
+		retried:     reg.Counter("service.jobs_retried"),
+		deadlined:   reg.Counter("service.jobs_deadline_exceeded"),
+		quarantined: reg.Counter("service.records_quarantined"),
 	}
 	reg.Gauge("service.queue_depth", func() int64 {
 		s.mu.Lock()
@@ -138,12 +186,22 @@ func New(cfg Config) (*Server, error) {
 		return n
 	})
 	reg.Counter("service.pool_size").Set(int64(pool))
+	reg.Gauge("service.journal_segments", func() int64 { return int64(s.journal.Stats().Segments) })
+	reg.Gauge("service.journal_records", func() int64 { return int64(s.journal.Stats().Records) })
+	reg.Gauge("service.journal_live", func() int64 { return int64(s.journal.Stats().Live) })
+	reg.Gauge("service.journal_compactions", func() int64 { return s.journal.Stats().Compactions })
+	reg.Gauge("service.quarantine_files", func() int64 {
+		names, err := jopts.FS.ReadDir(quarantineDir(cfg.SpoolDir))
+		if err != nil {
+			return 0
+		}
+		return int64(len(names))
+	})
 
-	loaded, warns := loadJobFiles(cfg.SpoolDir)
+	s.quarantined.Add(int64(recovery.Quarantined))
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.warns = warns
-	for _, rec := range loaded {
+	s.warns = append(s.warns, recovery.Warnings...)
+	for _, rec := range recovery.Jobs {
 		j := &job{Job: *rec, notify: make(chan struct{})}
 		j.Slot = -1
 		switch {
@@ -151,7 +209,7 @@ func New(cfg Config) (*Server, error) {
 			// Keep as-is.
 		case j.Checkpoint != nil:
 			// Cleanly preempted, or interrupted after a checkpoint was
-			// spooled: resume from it.
+			// journaled: resume from it.
 			j.State = StatePreempted
 			s.accepted.Add(1)
 		default:
@@ -162,14 +220,17 @@ func New(cfg Config) (*Server, error) {
 		}
 		seedEvents(j)
 		s.jobs[j.ID] = j
+		if cid := j.Spec.ClientID; cid != "" {
+			s.clients[cid] = j.ID
+		}
 		if j.Seq > s.seq {
 			s.seq = j.Seq
 		}
-		if err := writeJobFile(s.cfg.SpoolDir, &j.Job); err != nil {
-			s.warns = append(s.warns, err)
-		}
+		s.spoolLocked(j)
 	}
 	s.dispatchLocked()
+	s.mu.Unlock()
+	go s.policyLoop()
 	return s, nil
 }
 
@@ -221,45 +282,73 @@ func coreTrace(st *snapshot.State) []core.RoundStats {
 // Metrics returns the server's registry (service.* counters and gauges).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
-// Warnings returns spool-recovery and spool-write problems collected so far.
+// Warnings returns journal-recovery and journal-write problems collected so
+// far.
 func (s *Server) Warnings() []error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.warns = append(s.warns, s.journal.Warnings()...)
 	return append([]error(nil), s.warns...)
 }
 
-// Submit validates spec, durably spools it as a new queued job, and
+// Journal exposes the server's job journal (stats for tests and tools).
+func (s *Server) Journal() *Journal { return s.journal }
+
+// Submit validates spec, durably journals it as a new queued job, and
 // dispatches. The scheduler may preempt lower-priority running work to make
-// room; see JobSpec.Priority.
+// room; see JobSpec.Priority. A spec carrying a ClientID the server has
+// already accepted returns the existing job — retried POSTs never create
+// duplicates.
 func (s *Server) Submit(spec JobSpec) (*JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if cid := spec.ClientID; cid != "" {
+		if id, ok := s.clients[cid]; ok {
+			return s.statusLocked(s.jobs[id]), nil
+		}
+	}
 	if s.draining {
 		return nil, ErrDraining
 	}
 	s.seq++
+	now := s.clock.Now()
 	j := &job{
 		Job: Job{
 			ID:          fmt.Sprintf("job-%06d", s.seq),
 			Seq:         s.seq,
 			Spec:        spec,
 			State:       StateQueued,
-			SubmittedAt: time.Now(),
+			SubmittedAt: now,
 			Slot:        -1,
 		},
 		notify: make(chan struct{}),
 	}
-	if err := writeJobFile(s.cfg.SpoolDir, &j.Job); err != nil {
+	if spec.DeadlineMS > 0 {
+		dl := now.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
+		j.Deadline = &dl
+	}
+	payload, err := json.Marshal(&j.Job)
+	if err != nil {
+		s.seq--
+		return nil, fmt.Errorf("service: encoding job %s: %w", j.ID, err)
+	}
+	if err := s.journal.Append(j.ID, payload); err != nil {
 		s.seq--
 		return nil, err
 	}
 	s.jobs[j.ID] = j
+	if cid := spec.ClientID; cid != "" {
+		s.clients[cid] = j.ID
+	}
 	s.accepted.Add(1)
 	s.appendEventLocked(j, Event{Type: "state", State: StateQueued})
 	s.dispatchLocked()
+	if j.Deadline != nil {
+		s.wakePolicy()
+	}
 	return s.statusLocked(j), nil
 }
 
@@ -359,11 +448,12 @@ func (s *Server) Idle() bool {
 
 // Shutdown drains the server for a restart: no new submissions, every
 // running job is cancelled at its next round boundary, checkpointed, and
-// spooled as preempted — the generalization of cmd/laacad's checkpoint-on-
-// interrupt to a whole pool. Queued jobs stay spooled as queued. A fresh
+// journaled as preempted — the generalization of cmd/laacad's checkpoint-on-
+// interrupt to a whole pool. Queued jobs stay journaled as queued. A fresh
 // Server over the same spool resumes everything. Returns ctx.Err() if the
 // pool does not quiesce in time.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.mu.Lock()
 	s.draining = true
 	for _, id := range s.slots {
@@ -384,9 +474,100 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if err := s.journal.Close(); err != nil {
+			s.mu.Lock()
+			s.warns = append(s.warns, err)
+			s.mu.Unlock()
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// Retry/deadline policy. The policy loop sleeps (on the injectable clock)
+// until the earliest pending backoff release or deadline, applies whatever
+// became due, and redispatches. Anything that changes the schedule nudges
+// it through s.wake.
+
+func (s *Server) wakePolicy() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// nextPolicyEventLocked returns the earliest instant the policy loop must
+// act on (zero time when nothing is pending).
+func (s *Server) nextPolicyEventLocked() time.Time {
+	var next time.Time
+	sooner := func(t time.Time) {
+		if next.IsZero() || t.Before(next) {
+			next = t
+		}
+	}
+	for _, j := range s.jobs {
+		if j.State.Terminal() {
+			continue
+		}
+		if j.NotBefore != nil {
+			sooner(*j.NotBefore)
+		}
+		if j.Deadline != nil && !j.deadlined {
+			sooner(*j.Deadline)
+		}
+	}
+	return next
+}
+
+// applyPolicyLocked releases expired backoffs and fails expired deadlines.
+func (s *Server) applyPolicyLocked() {
+	now := s.clock.Now()
+	for _, j := range s.jobs {
+		if j.State.Terminal() {
+			continue
+		}
+		if j.Deadline != nil && !j.deadlined && !now.Before(*j.Deadline) {
+			if j.State == StateRunning {
+				// Cancel at the next round boundary; settle maps the
+				// cancellation to deadline_exceeded via j.deadlined.
+				j.deadlined = true
+				if j.cancel != nil {
+					j.cancel()
+				}
+			} else {
+				s.deadlined.Add(1)
+				s.terminalLocked(j, StateFailed, errDeadlineExceeded)
+			}
+			continue
+		}
+		if j.NotBefore != nil && !now.Before(*j.NotBefore) {
+			j.NotBefore = nil
+			s.spoolLocked(j)
+		}
+	}
+}
+
+func (s *Server) policyLoop() {
+	for {
+		s.mu.Lock()
+		next := s.nextPolicyEventLocked()
+		now := s.clock.Now()
+		s.mu.Unlock()
+		var timer <-chan time.Time
+		if !next.IsZero() {
+			timer = s.clock.After(next.Sub(now))
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake:
+		case <-timer:
+		}
+		s.mu.Lock()
+		s.applyPolicyLocked()
+		s.dispatchLocked()
+		s.mu.Unlock()
 	}
 }
 
@@ -401,17 +582,22 @@ func (s *Server) appendEventLocked(j *job, e Event) {
 	j.notify = make(chan struct{})
 }
 
-// spoolLocked rewrites the job's durable record, downgrading IO errors to
-// warnings: the in-memory queue stays authoritative.
+// spoolLocked appends the job's current state to the journal, downgrading
+// IO errors to warnings: the in-memory queue stays authoritative.
 func (s *Server) spoolLocked(j *job) {
-	if err := writeJobFile(s.cfg.SpoolDir, &j.Job); err != nil {
+	payload, err := json.Marshal(&j.Job)
+	if err != nil {
+		s.warns = append(s.warns, fmt.Errorf("service: encoding job %s: %w", j.ID, err))
+		return
+	}
+	if err := s.journal.Append(j.ID, payload); err != nil {
 		s.warns = append(s.warns, err)
 	}
 }
 
-// terminalLocked finishes a job: state, counters, event, spool.
+// terminalLocked finishes a job: state, counters, event, journal.
 func (s *Server) terminalLocked(j *job, state JobState, errMsg string) {
-	now := time.Now()
+	now := s.clock.Now()
 	j.State = state
 	j.FinishedAt = &now
 	j.Error = errMsg
@@ -430,11 +616,16 @@ func (s *Server) terminalLocked(j *job, state JobState, errMsg string) {
 }
 
 // bestQueuedLocked picks the runnable job to start next: highest priority,
-// then submission order.
+// then submission order. Jobs inside a retry-backoff window (NotBefore in
+// the future) are invisible until the policy loop releases them.
 func (s *Server) bestQueuedLocked() *job {
+	now := s.clock.Now()
 	var best *job
 	for _, j := range s.jobs {
 		if !j.State.runnable() {
+			continue
+		}
+		if j.NotBefore != nil && now.Before(*j.NotBefore) {
 			continue
 		}
 		if best == nil ||
@@ -517,7 +708,7 @@ func (s *Server) startLocked(j *job, slot int) {
 	j.Slot = slot
 	j.Slots = append(j.Slots, slot)
 	if j.StartedAt == nil {
-		now := time.Now()
+		now := s.clock.Now()
 		j.StartedAt = &now
 	}
 	chk := j.Checkpoint
@@ -540,6 +731,16 @@ func (s *Server) startLocked(j *job, slot int) {
 func (s *Server) runJob(ctx context.Context, cancel context.CancelFunc, j *job, slot int, chk *snapshot.State) {
 	defer s.wg.Done()
 	defer cancel()
+
+	if s.cfg.RunHook != nil {
+		s.mu.Lock()
+		id, attempt := j.ID, j.Retries
+		s.mu.Unlock()
+		if err := s.cfg.RunHook(id, attempt); err != nil {
+			s.settle(j, slot, nil, chk, err)
+			return
+		}
+	}
 
 	pace := time.Duration(j.Spec.PaceMS) * time.Millisecond
 	opts := []scenario.Option{scenario.WithObserver(func(_ scenario.Runner, st core.RoundStats) error {
@@ -601,7 +802,8 @@ func (s *Server) onRound(j *job, st core.RoundStats) {
 }
 
 // settle releases the worker slot and applies the run's outcome: done,
-// failed, cancelled, or preempted-with-checkpoint.
+// failed (possibly re-queued by retry policy), cancelled, deadline-expired,
+// or preempted-with-checkpoint.
 func (s *Server) settle(j *job, slot int, res *core.Result, chk *snapshot.State, runErr error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -612,6 +814,9 @@ func (s *Server) settle(j *job, slot int, res *core.Result, chk *snapshot.State,
 	switch {
 	case errors.Is(runErr, context.Canceled) && j.cancelRequested:
 		s.terminalLocked(j, StateCancelled, "")
+	case errors.Is(runErr, context.Canceled) && j.deadlined:
+		s.deadlined.Add(1)
+		s.terminalLocked(j, StateFailed, errDeadlineExceeded)
 	case errors.Is(runErr, context.Canceled):
 		j.Checkpoint = chk
 		j.State = StatePreempted
@@ -624,12 +829,64 @@ func (s *Server) settle(j *job, slot int, res *core.Result, chk *snapshot.State,
 		s.appendEventLocked(j, Event{Type: "state", State: j.State})
 		s.spoolLocked(j)
 	case runErr != nil:
+		if s.retryLocked(j, runErr) {
+			break
+		}
 		s.terminalLocked(j, StateFailed, runErr.Error())
 	default:
 		j.Result = res
 		s.terminalLocked(j, StateDone, "")
 	}
 	s.dispatchLocked()
+}
+
+// errDeadlineExceeded is the distinguished failure a job carries when its
+// Spec.DeadlineMS budget expires.
+const errDeadlineExceeded = "deadline_exceeded"
+
+// retryLocked applies retry policy to a failed run: if attempts remain (and
+// the deadline, if any, has not passed) the job re-queues behind an
+// exponential backoff with deterministic jitter. Reports whether the job
+// was re-queued.
+func (s *Server) retryLocked(j *job, runErr error) bool {
+	if j.Retries >= j.Spec.MaxRetries || j.cancelRequested {
+		return false
+	}
+	now := s.clock.Now()
+	if j.Deadline != nil && !now.Before(*j.Deadline) {
+		return false
+	}
+	j.Retries++
+	base := time.Duration(j.Spec.RetryBackoffMS) * time.Millisecond
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	shift := j.Retries - 1
+	if shift > 20 {
+		shift = 20
+	}
+	backoff := base << uint(shift)
+	nb := now.Add(backoff + retryJitter(j.ID, j.Retries, base))
+	j.NotBefore = &nb
+	j.State = StateQueued
+	j.Checkpoint = nil // a failed run restarts from scratch
+	j.Error = runErr.Error()
+	s.retried.Add(1)
+	s.appendEventLocked(j, Event{Type: "state", State: StateQueued, Error: runErr.Error()})
+	s.spoolLocked(j)
+	s.wakePolicy()
+	return true
+}
+
+// retryJitter derives a deterministic jitter in [0, base) from the job ID
+// and attempt number, decorrelating retry herds without a random source.
+func retryJitter(id string, attempt int, base time.Duration) time.Duration {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", id, attempt)
+	if base <= 0 {
+		return 0
+	}
+	return time.Duration(h.Sum64() % uint64(base))
 }
 
 // statusLocked builds the wire view of a job.
@@ -652,6 +909,10 @@ func (s *Server) statusLocked(j *job) *JobStatus {
 		Preemptions: j.Preemptions,
 		Rounds:      j.Rounds,
 		Error:       j.Error,
+		ClientID:    j.Spec.ClientID,
+		Retries:     j.Retries,
+		NotBefore:   j.NotBefore,
+		Deadline:    j.Deadline,
 		HasResult:   j.Result != nil,
 		Events:      len(j.events),
 	}

@@ -245,12 +245,33 @@ func TestEqualPriorityDoesNotPreempt(t *testing.T) {
 	waitFor(t, 30*time.Second, "B done", func() bool { return state(t, s, b.ID) == StateDone })
 }
 
-// TestDrainHundredJobs is the throughput acceptance: ≥100 queued jobs drain
-// over a bounded pool with exact accounting — accepted equals completed +
-// cancelled + failed, and the gauges return to zero.
-func TestDrainHundredJobs(t *testing.T) {
-	s := newTestServer(t, 4)
-	const total = 104
+// TestDrainThousandJobs is the throughput acceptance: ≥1000 queued jobs
+// drain over a bounded pool with exact accounting — accepted equals
+// completed + cancelled + failed, the gauges return to zero, and the journal
+// compacts itself along the way instead of growing one record per
+// transition forever. SyncNone keeps the test measuring scheduling, not
+// fsync latency.
+func TestDrainThousandJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thousand-job drain: skipped under -short")
+	}
+	s, err := New(Config{
+		SpoolDir: t.TempDir(),
+		Pool:     4,
+		Metrics:  &metrics.Registry{},
+		Journal:  JournalOptions{Sync: SyncNone},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	const total = 1000
 	ids := make([]string, 0, total)
 	for i := 0; i < total; i++ {
 		sc := testScenario(8, 4, 1e-3, int64(i+1))
@@ -266,7 +287,7 @@ func TestDrainHundredJobs(t *testing.T) {
 			}
 		}
 	}
-	waitFor(t, 120*time.Second, "queue drained", s.Idle)
+	waitFor(t, 300*time.Second, "queue drained", s.Idle)
 
 	snap := s.Metrics().Snapshot()
 	if snap["service.jobs_accepted"] != total {
@@ -284,6 +305,15 @@ func TestDrainHundredJobs(t *testing.T) {
 		if st := state(t, s, id); !st.Terminal() {
 			t.Errorf("%s still %s after drain", id, st)
 		}
+	}
+	s.Journal().Barrier()
+	stats := s.Journal().Stats()
+	if stats.Compactions == 0 {
+		t.Errorf("journal never compacted across %d appends (%d records, %d live)",
+			stats.Appends, stats.Records, stats.Live)
+	}
+	if stats.Live != total {
+		t.Errorf("journal live records = %d, want %d", stats.Live, total)
 	}
 }
 
@@ -362,7 +392,7 @@ func TestRestartRecovery(t *testing.T) {
 	}
 }
 
-func TestSpoolSkipsCorruptFiles(t *testing.T) {
+func TestSpoolQuarantinesCorruptFiles(t *testing.T) {
 	spool := t.TempDir()
 	if err := os.WriteFile(filepath.Join(spool, "job-000001.json"), []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
@@ -370,15 +400,29 @@ func TestSpoolSkipsCorruptFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(spool, "notes.txt"), []byte("unrelated"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(Config{SpoolDir: spool, Pool: 1, Metrics: &metrics.Registry{}})
+	reg := &metrics.Registry{}
+	s, err := New(Config{SpoolDir: spool, Pool: 1, Metrics: reg})
 	if err != nil {
 		t.Fatalf("New over dirty spool: %v", err)
 	}
-	if len(s.Warnings()) != 1 {
-		t.Errorf("warnings = %v, want exactly one (the corrupt record)", s.Warnings())
-	}
 	if len(s.List()) != 0 {
 		t.Errorf("jobs = %d, want 0", len(s.List()))
+	}
+	snap := reg.Snapshot()
+	if snap["service.records_quarantined"] != 2 {
+		t.Errorf("records_quarantined = %d, want 2", snap["service.records_quarantined"])
+	}
+	if snap["service.quarantine_files"] != 2 {
+		t.Errorf("quarantine_files = %d, want 2", snap["service.quarantine_files"])
+	}
+	// The damaged bytes are preserved, not deleted, and out of the replay
+	// path.
+	qdata, err := os.ReadFile(filepath.Join(spool, "quarantine", "job-000001.json"))
+	if err != nil || string(qdata) != "{not json" {
+		t.Errorf("quarantined record = %q, %v; want original bytes", qdata, err)
+	}
+	if _, err := os.Stat(filepath.Join(spool, "job-000001.json")); !os.IsNotExist(err) {
+		t.Errorf("corrupt file should have moved out of the spool, stat err = %v", err)
 	}
 	// The queue still works.
 	st, err := s.Submit(JobSpec{Scenario: testScenario(8, 4, 1e-3, 41)})
@@ -386,4 +430,24 @@ func TestSpoolSkipsCorruptFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, 30*time.Second, "job done", func() bool { return state(t, s, st.ID) == StateDone })
+
+	// Quarantined records survive a daemon restart and are still reported.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	reg2 := &metrics.Registry{}
+	s2, err := New(Config{SpoolDir: spool, Pool: 1, Metrics: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2 := reg2.Snapshot()
+	if snap2["service.quarantine_files"] != 2 {
+		t.Errorf("after restart quarantine_files = %d, want 2", snap2["service.quarantine_files"])
+	}
+	if snap2["service.records_quarantined"] != 0 {
+		t.Errorf("after restart records_quarantined = %d, want 0 (nothing newly quarantined)", snap2["service.records_quarantined"])
+	}
+	if got := len(s2.List()); got != 1 {
+		t.Errorf("after restart jobs = %d, want 1 (the completed submission)", got)
+	}
 }
