@@ -445,6 +445,37 @@ func BenchmarkSeqStepActive(b *testing.B) {
 	}
 }
 
+// BenchmarkSeqStepLevels measures Sequential rounds in the mover-heavy,
+// sparse-interference regime — a quarter of the lattice displaced — where
+// the level scheduler's layered waves (rather than the dirty-set size or a
+// fixed wave budget) determine how much of the sweep parallelizes. Worker
+// scaling here is the level schedule's regression surface: the serial
+// reference (workers=1) never plans, and each wider run executes the same
+// trajectory through batched waves.
+func BenchmarkSeqStepLevels(b *testing.B) {
+	for _, n := range benchScaleSizes() {
+		for _, w := range benchSeqWorkerCounts() {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, w), func(b *testing.B) {
+				pts, pitch := wsn.UnitLattice(n, n/4)
+				cfg := DefaultConfig(2)
+				cfg.Order = Sequential
+				cfg.Epsilon = pitch / 50
+				cfg.Workers = w
+				eng, err := NewEngine(UnitSquareKm(), pts, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Step() // warm: compute and cache every node once
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.Step()
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkScaleLocalizedFewMovers measures a Localized (Algorithm 2) round
 // in the few-movers regime. Unlike the Centralized lattice, a Localized
 // lattice start has a real transient: boundary nodes (ring-closed regions)

@@ -27,6 +27,8 @@
 // non-zero when a common benchmark slowed down by more than the given
 // percentage (left off in CI: shared runners are too noisy to gate
 // wall-times there; the deltas are printed into the job log instead).
+// -max-alloc-regress gates allocs/op the same way — allocation counts are
+// deterministic, so CI enforces that one as a blocking check.
 package main
 
 import (
@@ -183,9 +185,10 @@ var modeBench = map[string]string{
 	// Synchronous Centralized rounds: the parallel lock-step engine plus the
 	// few-movers scale surface.
 	"synchronous": "StepParallel|ScaleStepFewMovers|Fig6Convergence|Table1MinNode2Coverage|Table2LensComparison",
-	// Sequential (Gauss–Seidel) rounds: the graph-colored parallel sweep,
-	// including its hardest accounting cell (Localized escrow under waves).
-	"sequential": "SeqStepFewMovers|SeqStepActive|SeqLocalizedFewMovers",
+	// Sequential (Gauss–Seidel) rounds: the level-scheduled parallel sweep,
+	// including its mover-heavy layering surface and its hardest accounting
+	// cell (Localized escrow under waves).
+	"sequential": "SeqStepFewMovers|SeqStepActive|SeqStepLevels|SeqLocalizedFewMovers",
 	// Localized Algorithm 2: the message-faithful cached rounds, the
 	// expanding-ring probe, and the incremental boundary detector.
 	"localized": "ScaleLocalizedFewMovers|Fig2ExpandingRing|AblationLocalizedVsCentralized|SeqLocalizedFewMovers|BoundaryDetector",
@@ -267,11 +270,15 @@ func runCompare(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("bench compare", flag.ContinueOnError)
 	maxRegress := fs.Float64("max-regress", 0,
 		"fail when any common benchmark's ns/op regressed by more than this percentage (0 disables)")
+	maxAllocRegress := fs.Float64("max-alloc-regress", 0,
+		"fail when any common benchmark's allocs/op regressed by more than this percentage (0 disables); allocation counts are deterministic, so this gate holds even on noisy shared runners")
+	allocGrace := fs.Int64("alloc-grace", 0,
+		"ignore alloc regressions whose absolute delta is at most this many allocs/op; near-zero-alloc benchmarks pick up a handful of runtime allocations (goroutine wakeups, stack growth) that read as huge percentages")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: bench compare [-max-regress pct] old.json new.json")
+		return fmt.Errorf("usage: bench compare [-max-regress pct] [-max-alloc-regress pct] [-alloc-grace n] old.json new.json")
 	}
 	oldSnap, err := readSnapshot(fs.Arg(0))
 	if err != nil {
@@ -310,8 +317,8 @@ func runCompare(args []string, w io.Writer) error {
 		fs.Arg(0), oldSnap.Date, oldSnap.Label, fs.Arg(1), newSnap.Date, newSnap.Label)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tΔtime\told allocs\tnew allocs\tΔallocs\t")
-	var worst float64
-	var worstName string
+	var worst, worstAlloc float64
+	var worstName, worstAllocName string
 	logSum, common := 0.0, 0
 	// New-snapshot order first (the trajectory being judged), then
 	// old-only rows.
@@ -334,6 +341,9 @@ func runCompare(args []string, w io.Writer) error {
 		if dt > worst {
 			worst, worstName = dt, k
 		}
+		if da > worstAlloc && nb.AllocsPerOp-ob.AllocsPerOp > *allocGrace {
+			worstAlloc, worstAllocName = da, k
+		}
 	}
 	for _, ob := range oldSnap.Benchmarks {
 		if k := key(ob); newBy[k].Name == "" {
@@ -349,6 +359,10 @@ func runCompare(args []string, w io.Writer) error {
 	}
 	if *maxRegress > 0 && worst > *maxRegress {
 		return fmt.Errorf("%s regressed %.1f%% (> %.1f%% allowed)", worstName, worst, *maxRegress)
+	}
+	if *maxAllocRegress > 0 && worstAlloc > *maxAllocRegress {
+		return fmt.Errorf("%s allocs regressed %.1f%% (> %.1f%% allowed)",
+			worstAllocName, worstAlloc, *maxAllocRegress)
 	}
 	return nil
 }

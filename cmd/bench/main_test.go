@@ -120,6 +120,39 @@ func TestCompareMaxRegressGate(t *testing.T) {
 	}
 }
 
+func TestCompareMaxAllocRegressGate(t *testing.T) {
+	oldPath := writeSnapshot(t, "old.json", Snapshot{
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkTiny", NsPerOp: 100, AllocsPerOp: 5},
+			{Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: 1000},
+		},
+	})
+	newPath := writeSnapshot(t, "new.json", Snapshot{
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkTiny", NsPerOp: 100, AllocsPerOp: 14}, // +180%, +9 allocs
+			{Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: 1000},
+		},
+	})
+	var out strings.Builder
+	if err := runCompare([]string{"-max-alloc-regress", "10", oldPath, newPath}, &out); err == nil {
+		t.Error("a 180%% alloc regression must trip -max-alloc-regress 10")
+	}
+	// The grace floor absorbs small absolute deltas on near-zero-alloc rows.
+	if err := runCompare([]string{"-max-alloc-regress", "10", "-alloc-grace", "64", oldPath, newPath}, &out); err != nil {
+		t.Errorf("a 9-alloc delta must pass -alloc-grace 64, got %v", err)
+	}
+	// A hot-path regression clears any reasonable grace and still fails.
+	hotPath := writeSnapshot(t, "hot.json", Snapshot{
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkTiny", NsPerOp: 100, AllocsPerOp: 5},
+			{Name: "BenchmarkHot", NsPerOp: 100, AllocsPerOp: 2000},
+		},
+	})
+	if err := runCompare([]string{"-max-alloc-regress", "10", "-alloc-grace", "64", oldPath, hotPath}, &out); err == nil {
+		t.Error("a 1000-alloc regression must trip the gate despite -alloc-grace 64")
+	}
+}
+
 // A -cpus sweep emits the same benchmark once per width; every row must
 // survive reduction (same Name, distinct Procs).
 func TestReduceCpusSweep(t *testing.T) {

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"laacad/internal/region"
+	"laacad/internal/voronoi"
+)
+
+// The batch-kernel contract: the SoA pipeline (incremental rel slabs, lazy
+// bisector memos, slab-resident clipping, rhoHint warm start) is semantically
+// invisible. Across seeds, sizes, coverage orders, both modes, both update
+// orders and every worker count, the batch engine's trace, final positions,
+// radii AND message accounting are bit-identical to the scalar engine's
+// (DisableBatch). This is the equivalence half of the PR's acceptance
+// criteria; the scalar serial run is the oracle.
+func TestBatchKernelMatchesScalarEngine(t *testing.T) {
+	reg := region.UnitSquareKm()
+	cells := []struct {
+		seed int64
+		n, k int
+	}{{1, 60, 2}, {2, 150, 3}, {3, 90, 1}}
+	modes := []Mode{Centralized, Localized}
+	orders := []UpdateOrder{Synchronous, Sequential}
+	if testing.Short() {
+		cells = cells[:1]
+	}
+	for _, cell := range cells {
+		for _, mode := range modes {
+			for _, order := range orders {
+				cell, mode, order := cell, mode, order
+				t.Run(fmt.Sprintf("seed=%d/n=%d/k=%d/%v/%v", cell.seed, cell.n, cell.k, mode, order), func(t *testing.T) {
+					t.Parallel()
+					rng := rand.New(rand.NewSource(cell.seed))
+					start := region.PlaceUniform(reg, cell.n, rng)
+					cfg := DefaultConfig(cell.k)
+					cfg.Epsilon = 1e-3
+					cfg.MaxRounds = 40
+					cfg.Seed = cell.seed
+					cfg.Mode = mode
+					cfg.Order = order
+					cfg.DisableBatch = true
+					cfg.Workers = 0
+					scalarTrace, scalarRes := runEngine(t, reg, start, cfg)
+
+					cfg.DisableBatch = false
+					for _, w := range []int{0, 3, runtime.NumCPU()} {
+						cfg.Workers = w
+						batchTrace, batchRes := runEngine(t, reg, start, cfg)
+						assertIdentical(t, fmt.Sprintf("batch workers=%d", w),
+							scalarTrace, batchTrace, scalarRes, batchRes)
+						if batchRes.Messages != scalarRes.Messages {
+							t.Errorf("batch workers=%d: messages %d, scalar %d",
+								w, batchRes.Messages, scalarRes.Messages)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// The warm-start property behind the batch engine's steady-state win: the
+// expanding exactness search returns a bit-identical region no matter where
+// it starts. Starting at the node's last exactness radius (or far beyond the
+// final radius) skips early doublings but cannot change the survivors —
+// generators beyond the pruning bound leave the clipping walk untouched, and
+// the exactness predicate 2·R̂ ≤ ρ is start-independent. Verified directly
+// against the fallback start after the engine has populated rhoHint.
+func TestHintStartMatchesFallbackStart(t *testing.T) {
+	reg := region.UnitSquareKm()
+	for _, cell := range []struct {
+		seed int64
+		n, k int
+	}{{7, 120, 2}, {8, 200, 3}} {
+		cell := cell
+		t.Run(fmt.Sprintf("seed=%d/n=%d/k=%d", cell.seed, cell.n, cell.k), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(cell.seed))
+			start := region.PlaceUniform(reg, cell.n, rng)
+			cfg := DefaultConfig(cell.k)
+			cfg.Epsilon = 1e-3
+			cfg.Seed = cell.seed
+			eng, err := New(reg, start, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < 6; r++ {
+				eng.Step()
+			}
+			eng.Network().Rebuild()
+			s := NewScratch()
+			for i := 0; i < cell.n; i++ {
+				refs, _, rhat0 := centralizedRegionSoA(eng.Network(), reg, i, cfg.K, 0, s)
+				fallback := voronoi.CompactRefs(&s.vor.Slab, refs)
+				for _, hint := range []float64{eng.rhoHint[i], eng.rhoHint[i] * 8} {
+					refs, _, rhat := centralizedRegionSoA(eng.Network(), reg, i, cfg.K, hint, s)
+					warm := voronoi.CompactRefs(&s.vor.Slab, refs)
+					if !reflect.DeepEqual(fallback, warm) {
+						t.Fatalf("node %d: region differs for start radius %v", i, hint)
+					}
+					if rhat != rhat0 {
+						t.Fatalf("node %d: rhat %v for start radius %v, fallback start %v",
+							i, rhat, hint, rhat0)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The batch kernel must actually be live: a default-config engine computes
+// its regions on the SoA pipeline (BatchNodes advances), and DisableBatch
+// really does route everything back through the scalar kernel.
+func TestBatchKernelEngages(t *testing.T) {
+	reg := region.UnitSquareKm()
+	start := region.PlaceUniform(reg, 50, rand.New(rand.NewSource(11)))
+	for _, disable := range []bool{false, true} {
+		cfg := DefaultConfig(2)
+		cfg.Epsilon = 1e-3
+		cfg.Seed = 11
+		cfg.DisableBatch = disable
+		eng, err := New(reg, start, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Step()
+		got := eng.CacheCounters().BatchNodes
+		if disable && got != 0 {
+			t.Errorf("DisableBatch engine computed %d nodes on the batch kernel, want 0", got)
+		}
+		if !disable && got == 0 {
+			t.Error("default engine never used the batch kernel")
+		}
+	}
+}

@@ -2,174 +2,122 @@ package core
 
 import (
 	"math"
-
-	"laacad/internal/parallel"
+	"slices"
 )
 
-// Colored Sequential sweeps.
+// Level-scheduled colored Sequential sweeps.
 //
 // A Sequential (Gauss–Seidel) round processes nodes in ascending ID order,
 // each node seeing every earlier node's committed move. That data dependence
 // is real but sparse: node j's computation reads only positions inside its
 // exactness ball, so two nodes whose balls cannot reach each other's writes
 // are independent — the interference structure is a geometric graph, not a
-// chain. The colored sweep exploits that by speculation: at a scan position
-// whose cache entry is invalid, it plans a "color class" — a set of upcoming
-// dirty nodes that are pairwise non-interfering under predicted radii — and
-// computes their outcomes in parallel from the current committed state,
-// installing them as speculative cache entries. The serial commit loop then
-// proceeds unchanged: it consumes an entry only if no committed move endpoint
+// chain. The colored sweep exploits that by speculation: upcoming dirty
+// nodes are computed in parallel from the current committed state and
+// installed as speculative cache entries; the serial commit loop then
+// proceeds unchanged, consuming an entry only if no committed move endpoint
 // has landed inside the entry's exactness ball since it was computed (the
-// standard invalidation predicate), and recomputes serially otherwise.
+// standard invalidation predicate) and recomputing serially otherwise.
 //
-// Correctness therefore never depends on the interference prediction: a
-// mispredicted class member is just a wasted speculation, dropped by the
-// same machinery that drops stale cross-round entries. A Localized
-// speculation runs its search with every charge deferred into the node's wsn
-// escrow, so waste is simply voided (see dropEntry) — the public counters
-// never saw the cost, and no refund exists anywhere in the system. An entry
-// that survives to its node's turn is bit-identical to what the serial sweep
-// would compute there — every position its search read is unchanged since it
-// ran — so consuming it commits the escrow at exactly the instant the eager
-// sweep would have charged: the colored schedule's fixed point, trace and
-// message accounting (including any mid-round Stats snapshot) equal the
-// one-worker sweep's exactly, for any worker count.
+// Scheduling is a level schedule over the predicted interference DAG, built
+// once per round (planLevelSchedule): every dirty node j gets a trigger —
+// one past the largest-ID predicted mover that could disturb it — and the
+// (trigger, ID) pairs, packed into int64 keys, are sorted into the round's
+// execution queue. As the serial scan passes position i, every queued node
+// whose trigger is ≤ i has all its predicted disturbers committed, so the
+// ready prefix of the queue forms a wave: pairwise non-interfering under the
+// prediction (if mover a < b disturbs b, then trigger(b) > a ≥ i, so b is
+// not yet ready) and safe to compute in parallel (speculateAt). Where the
+// predecessor heuristic's fixed wave budget made mover-heavy rounds fall
+// back to serial after a few probes, the level schedule keeps waves flowing
+// layer by layer — a chain of disturbances becomes one wave per Kahn level,
+// not one serial turn per node.
+//
+// Correctness never depends on the interference prediction: a mispredicted
+// wave member is just a wasted speculation, dropped by the same machinery
+// that drops stale cross-round entries. A Localized speculation runs its
+// search with every charge deferred into the node's wsn escrow, so waste is
+// simply voided (see dropEntry) — the public counters never saw the cost,
+// and no refund exists anywhere in the system. An entry that survives to its
+// node's turn is bit-identical to what the serial sweep would compute there —
+// every position its search read is unchanged since it ran — so consuming it
+// commits the escrow at exactly the instant the eager sweep would have
+// charged: the schedule's fixed point, trace and message accounting
+// (including any mid-round Stats snapshot) equal the one-worker sweep's
+// exactly, for any worker count.
 
 const (
-	// waveMinCandidates is the dirty-node count below which planning a wave
-	// is not worth its O(n - from) gather; the serial loop handles stragglers.
+	// waveMinCandidates is the dirty-node count below which planning a
+	// schedule is not worth its O(n) gather; the serial loop handles
+	// stragglers.
 	waveMinCandidates = 8
-	// maxWavesPerRound caps the planning overhead per sweep. Later dirty
-	// nodes (conflict cascades past the budget) fall back to serial
-	// recomputation at their turn.
-	maxWavesPerRound = 8
-	// waveCapInit seeds the per-round class-size budget. The first wave of a
-	// round is a probe: if its speculations survive (the converging tail),
-	// the budget quadruples per wave and the sweep reaches full width within
-	// the wave cap; if they mostly die (the active phase, where nearly every
-	// commit invalidates downstream), the cutoff below stops speculating
+	// waveCapInit seeds the per-wave width budget. The first wave of a round
+	// is a probe: if its speculations survive (the converging tail), the
+	// budget quadruples per wave and the sweep reaches full width within a
+	// few launches; if they mostly die (the active phase, where nearly every
+	// commit invalidates downstream), the waste cutoff stops speculating
 	// having wasted at most about this much work.
 	waveCapInit = 64
 )
 
-// Disturber marks for planWave's interference test. Only a committed move
-// can invalidate an entry, so only predicted movers disturb: a dirty node
-// whose last outcome stood still is predicted to stand still again and
-// blocks nobody (if it moves after all, the validation machinery catches
-// every affected speculation — prediction errors cost work, never
-// correctness).
+// Disturber marks for the interference test. Only a committed move can
+// invalidate an entry, so only predicted movers disturb: a dirty node whose
+// last outcome stood still is predicted to stand still again and blocks
+// nobody (if it moves after all, the validation machinery catches every
+// affected speculation — prediction errors cost work, never correctness).
 const (
 	waveNone       uint8 = iota
 	waveDirtyMover       // invalid entry whose stale outcome moved: reach ≈ last move distance
 	waveMover            // valid entry with a pending move: endpoints known exactly
 )
 
-// speculate plans and executes one speculation wave starting at scan
-// position from (whose entry is invalid — the scan node itself is always in
-// the class, so the wave always makes progress). Runs only inside a
-// Sequential sweep with the cache enabled and workers > 1.
-func (e *Engine) speculate(from, round int, isBoundary []bool, workers int) {
-	if e.wavesThisRound >= maxWavesPerRound || e.dudWaves >= 2 {
-		return
-	}
-	// Adaptive budget: when this round's committed moves have already killed
-	// more than half of what the waves computed (the active phase, where
-	// nearly everything moves and Gauss–Seidel is genuinely serial), further
-	// speculation is mostly wasted work — stop for the rest of the sweep.
-	// While speculations survive, the class-size budget escalates instead,
-	// so surviving rounds reach full width. The counters are maintained on
-	// the serial path, so either decision is a pure function of the
-	// trajectory and the schedule stays deterministic.
-	computed := e.counters.SpecComputed - e.waveBaseComputed
-	wasted := e.counters.SpecWasted - e.waveBaseWasted
-	if computed > 0 {
-		if wasted*2 > computed {
-			return
-		}
-		if wasted*4 <= computed {
-			e.waveCap *= 4
-		}
-	}
-	n := len(e.cache)
-	cands := e.waveCands[:0]
-	for j := from; j < n; j++ {
-		if !e.cache[j].valid {
-			cands = append(cands, j)
-		}
-	}
-	e.waveCands = cands
-	if len(cands) < waveMinCandidates {
-		// Too few dirty nodes to be worth a wave — and likely to stay that
-		// way: candidates only shrink as the scan advances, except for the
-		// occasional mid-sweep cascade. Latch it like a dud so a straggler
-		// tail doesn't pay this O(n - from) gather at every dirty turn.
-		e.dudWaves++
-		return
-	}
-	e.wavesThisRound++
-	e.counters.Waves++
-	selected := e.planWave(from, cands, workers)
-	if len(selected) < 2 {
-		// Only the scan node itself survived selection: the interference
-		// structure is dense here (everything is a predicted mover), so
-		// planning is all cost and no class. Two duds end speculation for
-		// the round — the sweep is genuinely serial in this regime.
-		e.dudWaves++
-		return
-	}
-	if len(selected) > e.waveCap {
-		// A prefix of an independent set is independent, and the scan node
-		// is its first element, so truncation keeps both invariants.
-		selected = selected[:e.waveCap]
-	}
-	e.net.Rebuild() // fan-out reads the index concurrently; build it once
-	parallel.ForWorker(len(selected), workers, func(w, idx int) {
-		e.computeEntry(selected[idx], round, isBoundary, e.pool[w], true)
-	})
-	e.counters.SpecComputed += uint64(len(selected))
-	if e.seqBoundsLive {
-		// The live per-cell ρ-bounds must upper-bound every valid entry or
-		// later inverse invalidation queries could miss a speculative one.
-		for _, j := range selected {
-			if c := &e.cache[j]; c.valid {
-				e.noteRhoBound(j, c.rho)
-			}
-		}
-	}
-}
-
-// planWave selects the wave's color class: the ascending-ID greedy
-// independent set of the predicted interference relation over the dirty
-// candidates. Candidate j joins unless some predicted mover with a smaller
-// ID (at or after the scan position — everything earlier already committed)
-// could land a move endpoint inside j's predicted exactness ball before j's
-// turn:
+// planLevelSchedule builds the round's speculation schedule from the dirty
+// set: for every dirty node j, the trigger — one past the largest-ID
+// predicted mover k < j that could land a move endpoint inside j's predicted
+// exactness ball before j's turn — and its Kahn level in the predicted
+// interference DAG (counters only; execution is trigger-driven). The packed
+// (trigger, ID) keys are sorted into the execution queue for speculateAt.
 //
-//   - a cached mover k < j whose pending move endpoints are known exactly:
+// Disturbers are:
+//
+//   - a cached mover k whose pending move endpoints are known exactly:
 //     interferes when either endpoint lies within j's hint ball;
-//   - a dirty node k < j whose stale outcome moved: its recomputation is
+//   - a dirty node k whose stale outcome moved: its recomputation is
 //     predicted to move about as far again, so it interferes when u_k is
 //     within j's hint ball inflated by that distance.
 //
 // Dirty nodes whose stale outcome stood still are predicted to stand still
 // and block nobody — in the converging tail most of the dirty set is nodes
 // invalidated by a neighbor's move that will recompute to the same fixed
-// point, and they must be allowed to share a class or every cluster would
+// point, and they must be allowed to share a wave or every cluster would
 // serialize. Hints are the nodes' last known exactness radii (rhoHint);
 // nodes never computed yet fall back to the search's initial radius. The
-// selection is a pure function of (positions, cache state, hints), so the
-// class — and with it the whole schedule — is deterministic for every
-// worker count; the membership test for each candidate is independent of
-// the others, so the scan fans out.
-func (e *Engine) planWave(from int, cands []int, workers int) []int {
+// plan runs on the coordinator in one ascending-ID pass (each node's level
+// needs its dirty predecessors' levels) and is a pure function of
+// (positions, cache state, hints), so the schedule — and with it the whole
+// sweep — is deterministic for every worker count.
+func (e *Engine) planLevelSchedule(workers int) {
+	e.schedKeys = e.schedKeys[:0]
+	e.schedPos = 0
+	e.schedWidthCap = max(waveCapInit, 8*workers)
 	n := len(e.cache)
+	cands := e.waveCands[:0]
+	for j := 0; j < n; j++ {
+		if !e.cache[j].valid {
+			cands = append(cands, j)
+		}
+	}
+	e.waveCands = cands
+	if len(cands) < waveMinCandidates {
+		return
+	}
 	if cap(e.waveMark) < n {
 		e.waveMark = make([]uint8, n)
 	}
 	mark := e.waveMark[:n]
 	fallback := e.hintFallback()
 	maxReach, maxHint := 0.0, 0.0
-	for j := from; j < n; j++ {
+	for j := 0; j < n; j++ {
 		c := &e.cache[j]
 		if !c.valid {
 			if h := e.hintOf(j, fallback); h > maxHint {
@@ -189,63 +137,164 @@ func (e *Engine) planWave(from int, cands []int, workers int) []int {
 			mark[j] = waveNone
 		}
 	}
-	// Density guard: each candidate's membership test scans a grid window of
+	// Density guard: each candidate's trigger scan covers a grid window of
 	// radius hint+maxReach. When that window covers a constant fraction of
-	// the network (mover-heavy rounds with large stale moves), selection
+	// the network (large stale moves over a crowded deployment), planning
 	// costs approach O(candidates × n) — worse than just computing serially.
 	// Estimated occupancy-scaled scan size per query, vs the network:
 	shape := e.net.GridShape()
 	if ncells := shape.NX * shape.NY; ncells > 0 {
 		scanned := e.net.CellWindowSize(maxHint+maxReach) * n / ncells
 		if scanned*4 >= n {
-			for j := from; j < n; j++ {
+			for j := 0; j < n; j++ {
 				mark[j] = waveNone
 			}
-			return nil
+			return
 		}
 	}
-	if cap(e.waveKeep) < len(cands) {
-		e.waveKeep = make([]bool, len(cands))
+	if cap(e.schedLevel) < n {
+		e.schedLevel = make([]int32, n)
 	}
-	keep := e.waveKeep[:len(cands)]
+	level := e.schedLevel[:n]
 	e.net.Rebuild()
-	parallel.ForWorker(len(cands), workers, func(w, idx int) {
-		j := cands[idx]
+	s := e.pool[0]
+	var maxLevel int32
+	for _, j := range cands {
 		hintJ := e.hintOf(j, fallback)
-		s := e.pool[w]
 		s.nbrs = e.net.NeighborsWithinBuf(j, hintJ+maxReach, s.nbrs)
-		ok := true
+		trig := 0
+		var lvl int32
 		for _, k := range s.nbrs {
-			if k >= from && k < j && e.interferes(k, j, hintJ, fallback) {
-				ok = false
-				break
+			if k >= j || !e.interferes(k, j, hintJ, fallback) {
+				continue
+			}
+			if k+1 > trig {
+				trig = k + 1
+			}
+			switch mark[k] {
+			case waveDirtyMover:
+				// k is a candidate with a smaller ID, so level[k] is
+				// already this round's value.
+				if lk := level[k] + 1; lk > lvl {
+					lvl = lk
+				}
+			case waveMover:
+				// Commits at its own turn from the cache: depth 1, no
+				// recomputation chain behind it.
+				if lvl < 1 {
+					lvl = 1
+				}
 			}
 		}
-		keep[idx] = ok
-	})
-	sel := e.waveSel[:0]
-	for idx, j := range cands {
-		if keep[idx] {
-			sel = append(sel, j)
+		level[j] = lvl
+		if lvl > maxLevel {
+			maxLevel = lvl
 		}
+		e.schedKeys = append(e.schedKeys, int64(trig)<<32|int64(j))
 	}
-	if e.waveHook != nil {
-		// Observe the class while the disturber marks are still live, so a
+	slices.Sort(e.schedKeys)
+	e.counters.Levels += uint64(maxLevel) + 1
+	if e.schedHook != nil {
+		// Observe the plan while the disturber marks are still live, so a
 		// test can re-evaluate the interference predicate over its members.
-		e.waveHook(sel)
+		e.schedHook(e.schedKeys)
 	}
-	// Reset the marks we set; the next wave re-marks its own window.
-	for j := from; j < n; j++ {
+	for j := 0; j < n; j++ {
 		mark[j] = waveNone
 	}
-	e.waveSel = sel
-	return sel
+	e.schedOn = true
 }
 
-// interferes is planWave's pairwise interference predicate: can disturber
-// k's activity this sweep plausibly land inside candidate j's predicted
+// speculateAt pops and executes the wave that is ready at scan position i:
+// the queue prefix whose triggers the scan has passed, truncated to the
+// adaptive width cap. Runs only inside a Sequential sweep with the cache
+// enabled, workers > 1 and a live schedule (schedOn); multi-member waves
+// fan out over the engine's open wavePool.
+//
+// Pairwise independence of the popped wave holds by construction: for wave
+// members a < b, a predicted disturbance of b by a implies trigger(b) ≥ a+1,
+// and a being popped at scan i implies a ≥ i (stale entries are discarded),
+// so trigger(b) > i and b stays queued. Entries the scan has passed (id < i,
+// recomputed serially at their turn) and entries somehow already valid are
+// dropped on pop — speculating them could overwrite committed state or leak
+// an escrow.
+func (e *Engine) speculateAt(i, round int, isBoundary []bool) {
+	if e.schedPos >= len(e.schedKeys) || int(e.schedKeys[e.schedPos]>>32) > i {
+		return
+	}
+	// Adaptive budget: when this round's committed moves have already killed
+	// more than half of what the waves computed (nearly everything moving
+	// unpredictably — genuinely serial), further speculation is mostly
+	// wasted work: stop for the rest of the sweep. While speculations
+	// survive, the width budget escalates instead, so surviving rounds reach
+	// full width. The counters are maintained on the serial path, so either
+	// decision is a pure function of the trajectory and the schedule stays
+	// deterministic.
+	computed := e.counters.SpecComputed - e.waveBaseComputed
+	wasted := e.counters.SpecWasted - e.waveBaseWasted
+	if computed > 0 {
+		if wasted*2 > computed {
+			e.schedOn = false
+			return
+		}
+		if wasted*4 <= computed && e.schedWidthCap < len(e.cache) {
+			e.schedWidthCap *= 4
+		}
+	}
+	sel := e.waveSel[:0]
+	for e.schedPos < len(e.schedKeys) && len(sel) < e.schedWidthCap {
+		key := e.schedKeys[e.schedPos]
+		if int(key>>32) > i {
+			break
+		}
+		e.schedPos++
+		j := int(key & 0xffffffff)
+		if j < i || e.cache[j].valid {
+			continue
+		}
+		sel = append(sel, j)
+	}
+	e.waveSel = sel
+	if len(sel) == 0 {
+		return
+	}
+	e.counters.Waves++
+	e.counters.BatchCalls++
+	e.counters.BatchSizeHist[batchSizeBucket(len(sel))]++
+	if w := uint64(len(sel)); w > e.counters.LevelWidthMax {
+		e.counters.LevelWidthMax = w
+	}
+	if e.waveHook != nil {
+		e.waveHook(i, sel)
+	}
+	if len(sel) == 1 {
+		e.computeEntry(sel[0], round, isBoundary, e.pool[0], true)
+	} else {
+		e.net.Rebuild() // fan-out reads the index concurrently; build it once
+		if e.waveFn == nil {
+			e.waveFn = func(w, idx int) {
+				e.computeEntry(e.waveSel[idx], e.waveRound, e.waveBoundary, e.pool[w], true)
+			}
+		}
+		e.waveRound, e.waveBoundary = round, isBoundary
+		e.wavePool.Run(len(sel), e.waveFn)
+	}
+	e.counters.SpecComputed += uint64(len(sel))
+	if e.seqBoundsLive {
+		// The live per-cell ρ-bounds must upper-bound every valid entry or
+		// later inverse invalidation queries could miss a speculative one.
+		for _, j := range sel {
+			if c := &e.cache[j]; c.valid {
+				e.noteRhoBound(j, c.rho)
+			}
+		}
+	}
+}
+
+// interferes is the pairwise interference predicate: can disturber k's
+// activity this sweep plausibly land inside candidate j's predicted
 // exactness ball? Mispredictions in either direction are safe — a false
-// positive only shrinks the class, a false negative only wastes the
+// positive only delays j's trigger, a false negative only wastes the
 // speculation — so the test can use hints instead of true radii.
 func (e *Engine) interferes(k, j int, hintJ, fallback float64) bool {
 	uj := e.net.Position(j)

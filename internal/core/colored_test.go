@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"laacad/internal/geom"
@@ -77,6 +78,16 @@ func TestColoredSequentialMatchesSerialLarge(t *testing.T) {
 		eps    float64
 		rounds int
 	}{"n=10000/lattice", start10k, pitch / 50, 5})
+	// Every node displaced: the dense-mover phase, where the dirty set is
+	// the whole network and the interference DAG is at its deepest — the
+	// hardest cell for the level scheduler's trigger bookkeeping.
+	startDense, dpitch := wsn.UnitLattice(2500, 2500)
+	cases = append(cases, struct {
+		name   string
+		start  []geom.Point
+		eps    float64
+		rounds int
+	}{"n=2500/dense-movers", startDense, dpitch / 50, 6})
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,11 +105,17 @@ func TestColoredSequentialMatchesSerialLarge(t *testing.T) {
 	}
 }
 
-// The scheduling invariant behind the colored sweep: no two members of one
-// color class interfere under the predicted radii — otherwise one member's
-// commit could invalidate another member mid-class. The hook observes every
-// planned class while the disturber marks are live, so the test re-evaluates
-// the planner's own predicate over all pairs.
+// The scheduling invariant behind the level-scheduled sweep: no two members
+// of one wave interfere under the predicted radii — otherwise one member's
+// commit could invalidate another member mid-wave. The wave is the ready
+// prefix of the trigger-sorted queue, so the invariant decomposes into a
+// plan-time property (if mover a disturbs b, then b's trigger sits past a —
+// checked by schedHook while the disturber marks are live) and a launch-time
+// structural property (every popped node is at or past the scan position —
+// checked by waveHook): together they imply that a disturber of any popped
+// node has already committed or is not yet popped, because both a and b in
+// one wave at scan i means trigger(b) ≤ i < a+1 ≤ trigger(b), a
+// contradiction.
 func TestWaveClassPairwiseIndependent(t *testing.T) {
 	reg := region.UnitSquareKm()
 	start, pitch := wsn.UnitLattice(900, 12)
@@ -112,17 +129,39 @@ func TestWaveClassPairwiseIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	classes := 0
-	eng.waveHook = func(sel []int) {
-		classes++
+	plans, launches := 0, 0
+	eng.schedHook = func(keys []int64) {
+		plans++
 		fb := eng.hintFallback()
-		for x := 0; x < len(sel); x++ {
-			for y := x + 1; y < len(sel); y++ {
-				a, b := sel[x], sel[y]
-				if eng.interferes(a, b, eng.hintOf(b, fb), fb) {
-					t.Errorf("class %d: members %d and %d interfere", classes, a, b)
+		ids := make([]int, 0, len(keys))
+		trig := make(map[int]int, len(keys))
+		for _, key := range keys {
+			id := int(key & 0xffffffff)
+			ids = append(ids, id)
+			trig[id] = int(key >> 32)
+		}
+		sort.Ints(ids)
+		for x := 0; x < len(ids); x++ {
+			for y := x + 1; y < len(ids); y++ {
+				a, b := ids[x], ids[y]
+				if eng.interferes(a, b, eng.hintOf(b, fb), fb) && trig[b] <= a {
+					t.Errorf("plan %d: %d disturbs %d but trigger %d does not wait for it",
+						plans, a, b, trig[b])
 				}
 			}
+		}
+	}
+	eng.waveHook = func(from int, sel []int) {
+		launches++
+		seen := make(map[int]bool, len(sel))
+		for _, j := range sel {
+			if j < from {
+				t.Errorf("launch %d at scan %d includes already-committed node %d", launches, from, j)
+			}
+			if seen[j] {
+				t.Errorf("launch %d: node %d popped twice", launches, j)
+			}
+			seen[j] = true
 		}
 	}
 	for r := 0; r < cfg.MaxRounds; r++ {
@@ -130,8 +169,57 @@ func TestWaveClassPairwiseIndependent(t *testing.T) {
 			break
 		}
 	}
-	if classes == 0 {
-		t.Fatal("no speculation waves were planned; the colored sweep never engaged")
+	if plans == 0 || launches == 0 {
+		t.Fatalf("level schedule never engaged: %d plans, %d launches", plans, launches)
+	}
+}
+
+// Mover-heavy rounds must no longer fall back to serial: with a quarter of
+// a lattice displaced every round's dirty set is large and mover-dense, the
+// regime where the old fixed per-round wave budget (8 waves, dud latch)
+// stopped speculating almost immediately. The level schedule keeps waves
+// flowing — layers are laid out every planned round and the waves fill a
+// meaningful share of the recomputed set.
+func TestSeqLevelsEngageMoverHeavy(t *testing.T) {
+	n := 2500
+	start, pitch := wsn.UnitLattice(n, n/4)
+	reg := region.UnitSquareKm()
+	cfg := DefaultConfig(2)
+	cfg.Order = Sequential
+	cfg.Epsilon = pitch / 50
+	cfg.Seed = 7
+	cfg.Workers = 4
+	eng, err := New(reg, start, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Step() // cold round: the whole network computes, nothing is marked yet
+	base := eng.CacheCounters()
+	movedTotal := 0
+	for r := 0; r < 6; r++ {
+		st, done := eng.Step()
+		movedTotal += st.Moved
+		if done {
+			break
+		}
+	}
+	c := eng.CacheCounters()
+	if movedTotal < n/8 {
+		t.Fatalf("scenario not mover-heavy: %d moves over %d nodes", movedTotal, n)
+	}
+	if c.Levels == base.Levels {
+		t.Fatal("no level schedule was laid out in mover-heavy rounds")
+	}
+	if c.LevelWidthMax < 2 {
+		t.Fatalf("waves never got wider than %d: mover-heavy rounds ran serially", c.LevelWidthMax)
+	}
+	if spec := c.SpecComputed - base.SpecComputed; spec*4 < uint64(movedTotal) {
+		t.Errorf("waves filled only %d of %d mover-heavy recomputations: rounds fell back to serial",
+			spec, movedTotal)
+	}
+	if c.SpecUsed+c.SpecWasted != c.SpecComputed {
+		t.Errorf("speculation accounting leaks: computed=%d used=%d wasted=%d",
+			c.SpecComputed, c.SpecUsed, c.SpecWasted)
 	}
 }
 

@@ -151,6 +151,14 @@ type Config struct {
 	// faithful to the protocol; under message loss (LossRate > 0) Localized
 	// rounds never cache, since loss draws are per-round randomness.
 	DisableCache bool
+	// DisableBatch turns off the structure-of-arrays batch geometry kernel
+	// and routes every dominating-region computation through the scalar
+	// clip pipeline instead. The two kernels are bit-identical by contract
+	// (the batch walk routes every arithmetic step through the same geom
+	// functions in the same order; the equivalence suites gate them against
+	// each other), so this knob exists for benchmarking the scalar oracle
+	// and as an escape hatch.
+	DisableBatch bool
 }
 
 // DefaultConfig returns the configuration used throughout the paper's

@@ -143,23 +143,52 @@ type Engine struct {
 	// Sequential sweep (a stale hint only costs a wasted speculation, never
 	// correctness; see planWave).
 	rhoHint []float64
+	// lastRhat is each node's R̂ from the most recent round — the same
+	// max-vertex-distance a converged Finalize would measure over the node's
+	// last region at its (unchanged) position. It lets Finalize assign final
+	// radii without any region having been materialized (regions are only
+	// compacted and retained under Config.KeepRegions).
+	lastRhat []float64
 	// hits counts cache reuses; atomic because the Synchronous fan-out
 	// consults the cache from worker goroutines.
 	hits atomic.Uint64
+	// batchNodes counts dominating regions computed on the SoA batch kernel;
+	// atomic because batch step functions run from worker goroutines.
+	batchNodes atomic.Uint64
 
-	// Colored-sweep (Sequential order) state: reusable planning buffers, the
-	// per-round wave budget, and the lazily sized per-node disturber marks.
-	// waveHook, when set (tests), observes each executed wave's color class.
-	wavesThisRound   int
-	dudWaves         int
-	waveCap          int
+	// Level-scheduled colored-sweep (Sequential order) state. schedKeys is
+	// the round's speculation schedule — packed (trigger, node) keys sorted
+	// ascending, built once per round by planLevelSchedule — and schedPos the
+	// consumption cursor; schedOn gates execution (planning declined, or the
+	// waste cutoff latched off mid-round). schedWidthCap is the adaptive
+	// per-wave width budget and schedLevel the per-node Kahn level of the
+	// current plan (read only for same-round dirty-mover predecessors, so it
+	// needs no clearing). waveBase* snapshot the speculation counters at
+	// round start for the waste cutoff; waveCands/waveSel/waveMark are the
+	// reusable planning buffers. waveHook, when set (tests), observes each
+	// launched wave; schedHook observes each round's plan while the
+	// disturber marks are still live.
+	schedKeys        []int64
+	schedPos         int
+	schedOn          bool
+	schedWidthCap    int
+	schedLevel       []int32
 	waveBaseComputed uint64
 	waveBaseWasted   uint64
 	waveCands        []int
 	waveSel          []int
 	waveMark         []uint8
-	waveKeep         []bool
-	waveHook         func(selected []int)
+	waveHook         func(from int, selected []int)
+	schedHook        func(keys []int64)
+	// wavePool serves every speculation wave of a sweep from one set of
+	// parked goroutines (opened around the sweep, closed after it), and
+	// waveFn is the one persistent fan-out closure — together they make a
+	// wave launch allocation-free. waveRound/waveBoundary carry the
+	// per-round arguments the closure reads.
+	wavePool     parallel.Pool
+	waveFn       func(w, idx int)
+	waveRound    int
+	waveBoundary []bool
 	// commitHook, when set (tests), runs after every node's turn of a
 	// Sequential sweep completes — the mid-round observation point at which
 	// externally visible accounting must be exact and monotone.
@@ -250,21 +279,52 @@ type CacheCounters struct {
 	// LocalFlushes counts out-of-band position writes absorbed by the
 	// per-cell version diff instead of a wholesale cache flush.
 	LocalFlushes uint64
+	// Levels and LevelWidthMax describe the level scheduler behind the
+	// Sequential waves: cumulative interference-DAG layers laid out across
+	// all planned rounds, and the widest single wave ever launched. A
+	// mover-heavy round that parallelizes cleanly shows few levels with
+	// large widths; Levels staying at zero means every Sequential round ran
+	// serially.
+	Levels, LevelWidthMax uint64
+	// BatchCalls counts batched speculation-wave launches (fan-outs through
+	// the SoA kernel), BatchNodes the dominating regions computed on that
+	// kernel (all entry points, including serial turns and Synchronous
+	// fan-outs), and BatchSizeHist buckets each wave's node count into
+	// 1, 2–3, 4–7, 8–15, 16–31 and 32+.
+	BatchCalls, BatchNodes uint64
+	BatchSizeHist          [6]uint64
+}
+
+// batchSizeBucket maps a wave's node count to its BatchSizeHist bucket.
+func batchSizeBucket(n int) int {
+	b := 0
+	for n > 1 && b < 5 {
+		n >>= 1
+		b++
+	}
+	return b
 }
 
 // CacheCounters returns the cumulative invalidation-work counters.
 func (e *Engine) CacheCounters() CacheCounters {
 	c := e.counters
 	c.CacheHits = e.hits.Load()
+	c.BatchNodes = e.batchNodes.Load()
 	return c
 }
 
 // invalidationCounters returns only the counters that measure invalidation
 // and index work — the subset that must stay flat across converged rounds
-// (cache hits, by contrast, accumulate precisely then).
+// (cache hits, by contrast, accumulate precisely then; kernel and scheduler
+// counters track computation volume, not invalidation work).
 func (c CacheCounters) invalidationCounters() CacheCounters {
 	c.CacheHits = 0
 	c.SpecUsed = 0
+	c.Levels = 0
+	c.LevelWidthMax = 0
+	c.BatchCalls = 0
+	c.BatchNodes = 0
+	c.BatchSizeHist = [6]uint64{}
 	return c
 }
 
@@ -378,13 +438,18 @@ type nodeOutcome struct {
 
 // stepNodeCentralized computes node i's dominating region, Chebyshev center
 // and motion target from the current positions (Centralized mode). The
-// geometry pipeline runs entirely on s; the outcome's polygons are compacted
-// into owned storage so they survive the scratch's reuse. The second return
+// geometry pipeline runs entirely on s; with Config.KeepRegions set the
+// outcome's polygons are compacted into owned storage so they survive the
+// scratch's reuse (everything any other consumer needs — the circumradius,
+// R̂, the move — is scalar, so by default no region is materialized). The second return
 // value is the exactness radius ρ of the expanding search — the cache
 // invalidation radius. Since the deterministic-Welzl change, the outcome is
 // a pure function of (positions within ρ of u_i, region, config): no RNG
 // stream is consumed.
 func (e *Engine) stepNodeCentralized(i int, s *Scratch) (nodeOutcome, float64) {
+	if e.batchOn() {
+		return e.stepNodeCentralizedBatch(i, s)
+	}
 	ui := e.net.Position(i)
 	polys, rho, rhat := centralizedRegionScratch(e.net, e.reg, i, e.cfg.K, s)
 	if len(polys) == 0 {
@@ -393,10 +458,12 @@ func (e *Engine) stepNodeCentralized(i int, s *Scratch) (nodeOutcome, float64) {
 	}
 	ci, ri := ChebyshevOfRegion(polys, s)
 	out := nodeOutcome{
-		polys: voronoi.CompactRegion(polys),
-		next:  ui,
-		ri:    ri,
-		rhat:  rhat,
+		next: ui,
+		ri:   ri,
+		rhat: rhat,
+	}
+	if e.cfg.KeepRegions {
+		out.polys = voronoi.CompactRegion(polys)
 	}
 	e.finishMove(ui, ci, &out)
 	return out, rho
@@ -410,6 +477,9 @@ func (e *Engine) stepNodeCentralized(i int, s *Scratch) (nodeOutcome, float64) {
 // plus the boundary flag, which is what makes Localized outcomes cacheable
 // without falsifying the accounting.
 func (e *Engine) stepNodeLocalized(i int, isBoundary bool, rng *rand.Rand, s *Scratch) (nodeOutcome, float64) {
+	if e.batchOn() {
+		return e.stepNodeLocalizedBatch(i, isBoundary, rng, s)
+	}
 	ui := e.net.Position(i)
 	polys, inv := e.localizedRegionOf(i, isBoundary, rng, s)
 	if len(polys) == 0 {
@@ -417,10 +487,12 @@ func (e *Engine) stepNodeLocalized(i int, isBoundary bool, rng *rand.Rand, s *Sc
 	}
 	ci, ri := ChebyshevOfRegion(polys, s)
 	out := nodeOutcome{
-		polys: voronoi.CompactRegion(polys),
-		next:  ui,
-		ri:    ri,
-		rhat:  voronoi.MaxDistFrom(ui, polys),
+		next: ui,
+		ri:   ri,
+		rhat: voronoi.MaxDistFrom(ui, polys),
+	}
+	if e.cfg.KeepRegions {
+		out.polys = voronoi.CompactRegion(polys)
 	}
 	e.finishMove(ui, ci, &out)
 	return out, inv
@@ -552,6 +624,10 @@ func (e *Engine) ensureBuffers(n int) {
 	}
 	e.outs = e.outs[:n]
 	e.nextBuf = e.nextBuf[:n]
+	if cap(e.lastRhat) < n {
+		e.lastRhat = make([]float64, n)
+	}
+	e.lastRhat = e.lastRhat[:n]
 	if len(e.cache) != n {
 		e.cache = make([]nodeCache, n)
 		e.rhoHint = make([]float64, n)
@@ -940,19 +1016,26 @@ func (e *Engine) Step() (RoundStats, bool) {
 		// sweep and then kept current entry-by-entry (see invalidateAround),
 		// so a converged sweep pays nothing for them.
 		e.seqBoundsLive = false
-		e.wavesThisRound = 0
-		e.dudWaves = 0
-		e.waveCap = max(waveCapInit, 8*workers)
 		e.waveBaseComputed = e.counters.SpecComputed
 		e.waveBaseWasted = e.counters.SpecWasted
+		e.schedOn = false
+		if cacheOn && workers > 1 {
+			// Level-scheduled colored sweep: lay the round's dirty set out
+			// as an interference DAG once, then fill upcoming entries in
+			// parallel waves as the scan passes each node's trigger. The
+			// serial loop below consumes an entry only if it is still valid
+			// at the node's turn, so the sweep's fixed point and trace are
+			// bit-identical to the one-worker sweep.
+			e.planLevelSchedule(workers)
+			if e.schedOn {
+				// One set of parked worker goroutines serves every wave of
+				// the sweep — a wave launch allocates nothing.
+				e.wavePool.Open(workers)
+			}
+		}
 		for i := 0; i < n; i++ {
-			if cacheOn && workers > 1 && !e.cache[i].valid {
-				// Colored sweep: fill upcoming dirty entries in parallel
-				// from the current committed state; the serial loop below
-				// consumes each entry only if it is still valid at the
-				// node's turn, so the sweep's fixed point and trace are
-				// bit-identical to the one-worker sweep.
-				e.speculate(i, round, isBoundary, workers)
+			if e.schedOn {
+				e.speculateAt(i, round, isBoundary)
 			}
 			outs[i] = e.stepNodeAny(i, round, isBoundary, e.pool[0], cacheOn)
 			if cacheOn && e.seqBoundsLive {
@@ -979,6 +1062,7 @@ func (e *Engine) Step() (RoundStats, bool) {
 				e.commitHook(i)
 			}
 		}
+		e.wavePool.Close()
 	} else {
 		e.net.Rebuild() // build the spatial index once, before the fan-out
 		workers := parallel.Workers(e.cfg.Workers)
@@ -988,11 +1072,17 @@ func (e *Engine) Step() (RoundStats, bool) {
 		})
 	}
 
-	polysPerNode := make([][]geom.Polygon, n)
+	var polysPerNode [][]geom.Polygon
+	if e.cfg.KeepRegions {
+		polysPerNode = make([][]geom.Polygon, n)
+	}
 	moved := 0
 	for i := range outs {
 		o := &outs[i]
-		polysPerNode[i] = o.polys
+		if polysPerNode != nil {
+			polysPerNode[i] = o.polys
+		}
+		e.lastRhat[i] = o.rhat
 		if o.empty {
 			continue
 		}
@@ -1193,16 +1283,23 @@ func (e *Engine) finalizePartial(cause error) (*Result, error) {
 // recomputed, which in Localized mode costs additional messages beyond the
 // per-round trace.
 func (e *Engine) Finalize() (*Result, error) {
-	polysPerNode := e.regions
-	if !e.converged || polysPerNode == nil {
-		before := e.net.MessageCount()
-		polysPerNode = e.computeRegions()
-		e.finalMsgs += e.net.MessageCount() - before
-	}
 	n := e.net.Len()
 	radii := make([]float64, n)
-	for i := 0; i < n; i++ {
-		radii[i] = voronoi.MaxDistFrom(e.net.Position(i), polysPerNode[i])
+	polysPerNode := e.regions
+	if e.converged && polysPerNode == nil && !e.cfg.KeepRegions && len(e.lastRhat) == n {
+		// Converged without region retention: each node's last-round R̂ is
+		// bitwise the max vertex distance Finalize would measure — same
+		// vertices, same position (nothing moved since), same fold.
+		copy(radii, e.lastRhat)
+	} else {
+		if !e.converged || polysPerNode == nil {
+			before := e.net.MessageCount()
+			polysPerNode = e.computeRegions()
+			e.finalMsgs += e.net.MessageCount() - before
+		}
+		for i := 0; i < n; i++ {
+			radii[i] = voronoi.MaxDistFrom(e.net.Position(i), polysPerNode[i])
+		}
 	}
 	res := &Result{
 		Positions: e.net.Positions(),
@@ -1276,7 +1373,14 @@ func (e *Engine) centralizedRegions() [][]geom.Polygon {
 	e.net.Rebuild()
 	workers := parallel.Workers(e.cfg.Workers)
 	e.ensurePool(workers)
+	batch := e.batchOn()
 	parallel.ForWorker(n, workers, func(w, i int) {
+		if batch {
+			s := e.pool[w]
+			refs, _, _ := centralizedRegionSoA(e.net, e.reg, i, e.cfg.K, 0, s)
+			out[i] = voronoi.CompactRefs(&s.vor.Slab, refs)
+			return
+		}
 		polys := CentralizedDominatingRegionScratch(e.net, e.reg, i, e.cfg.K, e.pool[w])
 		out[i] = voronoi.CompactRegion(polys)
 	})

@@ -38,7 +38,13 @@ func (e *Engine) localizedRegions() [][]geom.Polygon {
 	round := -(e.round + 1)
 	workers := parallel.Workers(e.cfg.Workers)
 	e.ensurePool(workers)
+	batch := e.batchOn()
 	parallel.ForWorker(n, workers, func(w, i int) {
+		if batch {
+			refs, _ := e.localizedRegionRefs(i, isBoundary[i], e.lossRNG(round, i), e.pool[w])
+			out[i] = voronoi.CompactRefs(&e.pool[w].vor.Slab, refs)
+			return
+		}
 		polys, _ := e.localizedRegionOf(i, isBoundary[i], e.lossRNG(round, i), e.pool[w])
 		out[i] = voronoi.CompactRegion(polys)
 	})
@@ -70,6 +76,25 @@ func (e *Engine) lossRNG(round, i int) *rand.Rand {
 // ⌈ρ/γ⌉ hops, whose reachable set can depend on relays up to ⌈ρ/γ⌉·γ out.
 func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand, s *Scratch) ([]geom.Polygon, float64) {
 	ui := e.net.Position(i)
+	nbrIDs, rho, clipToRing, invRad := e.localizedSearch(i, isBoundary, rng, s)
+	s.sites = s.sites[:0]
+	for _, j := range nbrIDs {
+		s.sites = append(s.sites, voronoi.Site{ID: j, Pos: e.net.Position(j)})
+	}
+	polys := voronoi.DominatingRegionScratch(voronoi.Site{ID: i, Pos: ui}, s.sites, e.cfg.K, e.reg.Pieces(), &s.vor)
+	if clipToRing {
+		polys = clipToDisk(polys, geom.Circle{Center: ui, R: rho / 2}, s)
+	}
+	return polys, invRad
+}
+
+// localizedSearch runs the expanding-ring phase of Algorithm 2 for node i —
+// every message the node sends is charged here — and returns the gathered
+// neighbor IDs, the final ring radius ρ, whether the region must be closed
+// with the ρ/2 ring, and the search's invalidation radius. It is shared by
+// the scalar and batch region assemblies, so the two paths are message-
+// identical by construction.
+func (e *Engine) localizedSearch(i int, isBoundary bool, rng *rand.Rand, s *Scratch) ([]int, float64, bool, float64) {
 	gamma := e.cfg.Gamma
 	rho := 0.0
 	var nbrIDs []int
@@ -104,15 +129,6 @@ func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand, s *Sc
 			break
 		}
 	}
-
-	s.sites = s.sites[:0]
-	for _, j := range nbrIDs {
-		s.sites = append(s.sites, voronoi.Site{ID: j, Pos: e.net.Position(j)})
-	}
-	polys := voronoi.DominatingRegionScratch(voronoi.Site{ID: i, Pos: ui}, s.sites, e.cfg.K, e.reg.Pieces(), &s.vor)
-	if clipToRing {
-		polys = clipToDisk(polys, geom.Circle{Center: ui, R: rho / 2}, s)
-	}
 	invRad := rho
 	if e.cfg.RingMode == wsn.RingHopLimited {
 		invRad = math.Ceil(rho/gamma) * gamma
@@ -123,7 +139,7 @@ func (e *Engine) localizedRegionOf(i int, isBoundary bool, rng *rand.Rand, s *Sc
 		// locality contract), so the invalidation ball must cover it.
 		invRad = gamma
 	}
-	return polys, invRad
+	return nbrIDs, rho, clipToRing, invRad
 }
 
 // circleDominated implements lines 5–8 of Algorithm 2: it samples the circle

@@ -18,6 +18,7 @@ import (
 type Scratch struct {
 	vor   voronoi.Scratch
 	nbrs  []int
+	nbrD2 []float64 // squared distances parallel to nbrs (batch gather)
 	sites []voronoi.Site
 	verts []geom.Point
 	ring  []geom.Point // circle-sample / disk-clip ring (Localized mode)

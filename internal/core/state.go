@@ -76,6 +76,7 @@ func ConfigToState(c Config) snapshot.ConfigState {
 		Workers:      c.Workers,
 		KeepRegions:  c.KeepRegions,
 		DisableCache: c.DisableCache,
+		DisableBatch: c.DisableBatch,
 	}
 }
 
@@ -99,6 +100,7 @@ func ConfigFromState(s snapshot.ConfigState) Config {
 		Workers:      s.Workers,
 		KeepRegions:  s.KeepRegions,
 		DisableCache: s.DisableCache,
+		DisableBatch: s.DisableBatch,
 	}
 }
 

@@ -72,3 +72,86 @@ func ForWorker(n, workers int, fn func(w, i int)) {
 	}
 	wg.Wait()
 }
+
+// Pool is a persistent team of worker goroutines for spawn-heavy callers:
+// where each ForWorker call pays one goroutine spawn and one closure
+// allocation per worker, an open Pool serves many small fan-outs with zero
+// per-call allocations — the workers park on their wake channels between
+// runs. The round engine opens one around a Sequential sweep so hundreds of
+// small speculation waves share the same goroutines.
+//
+// Open, Run, and Close must all be called from the same goroutine. The zero
+// value is a closed pool; Run on a closed pool executes inline.
+type Pool struct {
+	fn   func(w, i int)
+	n    int
+	next atomic.Int64
+	wake []chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open spawns workers-1 parked goroutines with identities 1..workers-1 (the
+// calling goroutine acts as worker 0 during Run). No-op if the pool is
+// already open or workers <= 1.
+func (p *Pool) Open(workers int) {
+	if len(p.wake) > 0 || workers <= 1 {
+		return
+	}
+	p.wake = make([]chan struct{}, workers-1)
+	for i := range p.wake {
+		c := make(chan struct{})
+		p.wake[i] = c
+		w := i + 1
+		go func() {
+			for range c {
+				p.run(w)
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+// Close releases the worker goroutines. The pool can be reopened. No-op on
+// a closed pool.
+func (p *Pool) Close() {
+	for _, c := range p.wake {
+		close(c)
+	}
+	p.wake = nil
+}
+
+// Run invokes fn(w, i) for every i in [0, n) across the pool's workers plus
+// the calling goroutine, with the same contract as ForWorker (dynamic index
+// handout, per-slot determinism, returns when every call completed). A
+// closed pool, or n <= 1, runs inline as worker 0.
+func (p *Pool) Run(n int, fn func(w, i int)) {
+	if n <= 1 || len(p.wake) == 0 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	p.fn, p.n = fn, n
+	p.next.Store(0)
+	active := len(p.wake)
+	if active > n-1 {
+		active = n - 1
+	}
+	p.wg.Add(active)
+	for i := 0; i < active; i++ {
+		p.wake[i] <- struct{}{}
+	}
+	p.run(0)
+	p.wg.Wait()
+	p.fn = nil
+}
+
+func (p *Pool) run(w int) {
+	for {
+		i := int(p.next.Add(1)) - 1
+		if i >= p.n {
+			return
+		}
+		p.fn(w, i)
+	}
+}

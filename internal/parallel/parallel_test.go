@@ -83,3 +83,56 @@ func TestForWorkerSlotIdentity(t *testing.T) {
 		}
 	})
 }
+
+// A Pool distributes every index exactly once per Run, across many reuses
+// of the same parked workers, and runs inline once closed.
+func TestPoolVisitsEachIndexOnce(t *testing.T) {
+	var p Pool
+	p.Open(4)
+	defer p.Close()
+	for run := 0; run < 50; run++ {
+		n := run % 7 * 13 // exercises 0, 1, and multi-index runs
+		visits := make([]int32, n)
+		p.Run(n, func(w, i int) {
+			if w < 0 || w >= 4 {
+				t.Errorf("worker identity %d out of range", w)
+			}
+			atomic.AddInt32(&visits[i], 1)
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("run %d: index %d visited %d times", run, i, v)
+			}
+		}
+	}
+}
+
+// Run on a closed (zero-value) pool executes inline as worker 0.
+func TestPoolClosedRunsInline(t *testing.T) {
+	var p Pool
+	sum := 0
+	p.Run(5, func(w, i int) {
+		if w != 0 {
+			t.Errorf("closed pool used worker %d", w)
+		}
+		sum += i
+	})
+	if sum != 10 {
+		t.Fatalf("sum = %d, want 10", sum)
+	}
+}
+
+// A wave launch on an open pool performs no heap allocation — the property
+// the round engine's speculation waves rely on.
+func TestPoolRunAllocFree(t *testing.T) {
+	var p Pool
+	p.Open(2)
+	defer p.Close()
+	var sink atomic.Int64
+	fn := func(w, i int) { sink.Add(int64(i)) }
+	p.Run(8, fn) // warm up
+	allocs := testing.AllocsPerRun(100, func() { p.Run(8, fn) })
+	if allocs > 0 {
+		t.Fatalf("Run allocated %.1f times per call, want 0", allocs)
+	}
+}

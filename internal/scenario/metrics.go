@@ -16,7 +16,10 @@ import (
 //
 //   - Per-round counters snapshotted by an internal observer after every
 //     completed round: the engine's cumulative cache/invalidation work
-//     ("cache.*"), colored-sweep speculation accounting ("spec.*"),
+//     ("cache.*"), colored-sweep speculation accounting ("spec.*"), the
+//     level scheduler's layout and wave widths ("engine.levels",
+//     "engine.level_width_max", "batch.size_*") and batch-kernel volume
+//     ("batch.calls", "batch.nodes"),
 //     incremental boundary-flag evaluations ("flags.evals"), spatial-index
 //     work ("wsn.rebuilds", "wsn.incremental_moves"), and round progress
 //     ("engine.rounds", "engine.moved_last_round",
@@ -62,9 +65,23 @@ func instrument(r *labeledRunner, reg *metrics.Registry) func(core.RoundStats) {
 		"spec.computed":          reg.Counter("spec.computed"),
 		"spec.used":              reg.Counter("spec.used"),
 		"spec.wasted":            reg.Counter("spec.wasted"),
+		"engine.levels":          reg.Counter("engine.levels"),
+		"engine.level_width_max": reg.Counter("engine.level_width_max"),
+		"batch.calls":            reg.Counter("batch.calls"),
+		"batch.nodes":            reg.Counter("batch.nodes"),
 		"flags.evals":            reg.Counter("flags.evals"),
 		"wsn.rebuilds":           reg.Counter("wsn.rebuilds"),
 		"wsn.incremental_moves":  reg.Counter("wsn.incremental_moves"),
+	}
+	// Wave-size histogram: one counter per bucket, set from the engine's
+	// cumulative BatchSizeHist after every round.
+	sizeBuckets := [...]*metrics.Counter{
+		reg.Counter("batch.size_1"),
+		reg.Counter("batch.size_2_3"),
+		reg.Counter("batch.size_4_7"),
+		reg.Counter("batch.size_8_15"),
+		reg.Counter("batch.size_16_31"),
+		reg.Counter("batch.size_32_plus"),
 	}
 	return func(st core.RoundStats) {
 		rounds.Set(int64(st.Round))
@@ -83,6 +100,13 @@ func instrument(r *labeledRunner, reg *metrics.Registry) func(core.RoundStats) {
 		counters["spec.computed"].Set(int64(cc.SpecComputed))
 		counters["spec.used"].Set(int64(cc.SpecUsed))
 		counters["spec.wasted"].Set(int64(cc.SpecWasted))
+		counters["engine.levels"].Set(int64(cc.Levels))
+		counters["engine.level_width_max"].Set(int64(cc.LevelWidthMax))
+		counters["batch.calls"].Set(int64(cc.BatchCalls))
+		counters["batch.nodes"].Set(int64(cc.BatchNodes))
+		for b, ctr := range sizeBuckets {
+			ctr.Set(int64(cc.BatchSizeHist[b]))
+		}
 		counters["flags.evals"].Set(int64(cc.FlagEvals))
 		counters["wsn.rebuilds"].Set(int64(net.Rebuilds()))
 		counters["wsn.incremental_moves"].Set(int64(net.IncrementalMoves()))

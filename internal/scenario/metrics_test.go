@@ -37,6 +37,23 @@ func TestWithMetricsPublishesEngineSurface(t *testing.T) {
 	if got := snap["cache.hits"]; got != int64(last.CacheHits) {
 		t.Errorf("cache.hits = %d, want %d", got, last.CacheHits)
 	}
+	if got := snap["batch.nodes"]; got != int64(last.BatchNodes) {
+		t.Errorf("batch.nodes = %d, want %d", got, last.BatchNodes)
+	}
+	if snap["batch.nodes"] == 0 {
+		t.Error("batch.nodes never published despite the batch kernel being live")
+	}
+	if got := snap["engine.levels"]; got != int64(last.Levels) {
+		t.Errorf("engine.levels = %d, want %d", got, last.Levels)
+	}
+	for _, name := range []string{
+		"engine.level_width_max", "batch.calls", "batch.size_1", "batch.size_2_3",
+		"batch.size_4_7", "batch.size_8_15", "batch.size_16_31", "batch.size_32_plus",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("counter %q not registered", name)
+		}
+	}
 	if got := snap["wsn.escrow_depth"]; got != 0 {
 		t.Errorf("escrow depth nonzero between rounds: %d", got)
 	}

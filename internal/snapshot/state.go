@@ -55,6 +55,11 @@ type ConfigState struct {
 	// a resumed run keeps the eager/cached choice of the original, even
 	// though the two are bit-identical by contract.
 	DisableCache bool `json:"disable_cache,omitempty"`
+	// DisableBatch routes region computation through the scalar kernel
+	// instead of the batch SoA kernel. Recorded for the same reason: the
+	// two are bit-identical by contract, but a resumed run keeps the
+	// original's choice.
+	DisableBatch bool `json:"disable_batch,omitempty"`
 
 	// Event-driven simulator fields (Kind == KindAsync).
 	Tau               float64 `json:"tau,omitempty"`

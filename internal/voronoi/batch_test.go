@@ -1,0 +1,298 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"laacad/internal/geom"
+	"laacad/internal/region"
+)
+
+// refsEqualBits fails unless the referenced slab polygons are bitwise equal
+// to the scalar region — piece count, vertex counts, and every coordinate.
+func refsEqualBits(t *testing.T, want []geom.Polygon, slab *geom.PolySlab, got []geom.PolyRef) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("piece count: scalar %d, batch %d", len(want), len(got))
+	}
+	for pi, p := range want {
+		r := got[pi]
+		if len(p) != r.N {
+			t.Fatalf("piece %d: scalar %d verts, batch %d", pi, len(p), r.N)
+		}
+		for i, v := range p {
+			g := slab.Vertex(r, i)
+			if math.Float64bits(v.X) != math.Float64bits(g.X) ||
+				math.Float64bits(v.Y) != math.Float64bits(g.Y) {
+				t.Fatalf("piece %d vertex %d: scalar %v, batch %v", pi, i, v, g)
+			}
+		}
+	}
+}
+
+// TestDominatingRegionBatchMatchesScalar sweeps random site sets, coverage
+// orders and every query site, requiring the batch kernel to be bitwise equal
+// to the scalar scratch kernel — including with coincident site clusters that
+// exercise the index tie-break.
+func TestDominatingRegionBatchMatchesScalar(t *testing.T) {
+	reg := region.UnitSquareKm()
+	var sc, sb Scratch
+	for _, seed := range []int64{1, 7, 42} {
+		for _, n := range []int{5, 30, 80} {
+			sites := scratchSites(n, seed)
+			if n > 6 {
+				// Coincident cluster: exact duplicates tie-break by ID.
+				sites[4].Pos = sites[2].Pos
+				sites[6].Pos = sites[2].Pos
+			}
+			for _, k := range []int{1, 2, 4} {
+				for _, self := range sites {
+					want := DominatingRegionScratch(self, sites, k, reg.Pieces(), &sc)
+					got := DominatingRegionBatch(self, sites, k, reg.Pieces(), &sb)
+					refsEqualBits(t, want, &sb.Slab, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDominatingRegionBatchWithHoles runs the comparison over a multi-piece
+// clip region (square with a hole → pieces), so the per-piece walk and the
+// survivor ordering across pieces are covered.
+func TestDominatingRegionBatchWithHoles(t *testing.T) {
+	hole := geom.RectPolygon(geom.BBox{Min: geom.Pt(0.4, 0.4), Max: geom.Pt(0.6, 0.6)})
+	reg := region.MustNew(geom.RectPolygon(geom.BBox{Min: geom.Pt(0, 0), Max: geom.Pt(1, 1)}), hole)
+	sites := scratchSites(40, 13)
+	var sc, sb Scratch
+	for _, self := range sites {
+		want := DominatingRegionScratch(self, sites, 3, reg.Pieces(), &sc)
+		got := DominatingRegionBatch(self, sites, 3, reg.Pieces(), &sb)
+		refsEqualBits(t, want, &sb.Slab, got)
+	}
+}
+
+// TestIncrementalRelMatchesRebuild feeds the rel slabs in radius chunks —
+// the engine's expanding-search pattern: append only the suffix beyond the
+// previous radius, sort the tail — and requires the result to be bitwise
+// equal to a full rebuild-and-sort (and to the scalar kernel).
+func TestIncrementalRelMatchesRebuild(t *testing.T) {
+	reg := region.UnitSquareKm()
+	rng := rand.New(rand.NewSource(23))
+	var sc, sb Scratch
+	for trial := 0; trial < 30; trial++ {
+		sites := scratchSites(60, int64(trial))
+		self := sites[rng.Intn(len(sites))]
+		k := 1 + rng.Intn(3)
+
+		// Incremental build over three expanding radii.
+		radii := []float64{0.2, 0.4, 1.6}
+		sb.ResetRel()
+		prevRho2 := 0.0
+		for _, rho := range radii {
+			rho2 := rho * rho
+			start := sb.RelLen()
+			for _, o := range sites {
+				d2 := o.Pos.Dist2(self.Pos)
+				if d2 < rho2 && d2 >= prevRho2 {
+					sb.AppendRel(self, o, d2)
+				}
+			}
+			sb.SortRelTail(start)
+			prevRho2 = rho2
+		}
+		got := DominatingRegionSoA(self, k, reg.Pieces(), &sb)
+
+		// Oracle: scalar kernel over the same final neighbor set.
+		final := sites[:0:0]
+		for _, o := range sites {
+			if o.Pos.Dist2(self.Pos) < prevRho2 {
+				final = append(final, o)
+			}
+		}
+		want := DominatingRegionScratch(self, final, k, reg.Pieces(), &sc)
+		refsEqualBits(t, want, &sb.Slab, got)
+	}
+}
+
+// TestClipToConvexSoAMatchesScalar checks the edge-major ring closure against
+// the scalar ClipToConvex, bitwise.
+func TestClipToConvexSoAMatchesScalar(t *testing.T) {
+	reg := region.UnitSquareKm()
+	sites := scratchSites(20, 5)
+	ring := geom.RegularPolygon(geom.Circle{Center: geom.Pt(0.5, 0.5), R: 0.3}, 48, 0.065)
+	var sc, sb Scratch
+	for _, self := range sites {
+		polys := DominatingRegionScratch(self, sites, 2, reg.Pieces(), &sc)
+		want := sc.ClipToConvex(polys, ring)
+		refs := DominatingRegionBatch(self, sites, 2, reg.Pieces(), &sb)
+		got := sb.ClipToConvexSoA(refs, ring)
+		refsEqualBits(t, want, &sb.Slab, got)
+	}
+}
+
+// TestCompactRefs mirrors TestCompactRegion for the ref-space copy-out.
+func TestCompactRefs(t *testing.T) {
+	reg := region.UnitSquareKm()
+	sites := scratchSites(25, 9)
+	var sc, sb Scratch
+	want := CompactRegion(DominatingRegionScratch(sites[0], sites, 3, reg.Pieces(), &sc))
+	refs := DominatingRegionBatch(sites[0], sites, 3, reg.Pieces(), &sb)
+	compact := CompactRefs(&sb.Slab, refs)
+	if !reflect.DeepEqual(asValues(compact), asValues(want)) {
+		t.Fatal("CompactRefs differs from CompactRegion of the scalar result")
+	}
+	for i, p := range compact {
+		if cap(p) != len(p) {
+			t.Errorf("piece %d: cap %d != len %d (not minimal)", i, cap(p), len(p))
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { CompactRefs(&sb.Slab, refs) }); allocs > 2 {
+		t.Errorf("CompactRefs allocates %v/op, want <= 2", allocs)
+	}
+	if CompactRefs(&sb.Slab, nil) != nil {
+		t.Error("CompactRefs of no refs should be nil")
+	}
+	// Mutating the scratch afterwards must not disturb the compacted copy.
+	before := asValues(compact)
+	for _, self := range sites {
+		DominatingRegionBatch(self, sites, 3, reg.Pieces(), &sb)
+	}
+	if !reflect.DeepEqual(asValues(compact), before) {
+		t.Error("compacted region aliases slab storage")
+	}
+}
+
+// TestRefHelpersMatchScalar checks MaxDistFromRefs and VerticesOfRefsInto
+// against their scalar counterparts.
+func TestRefHelpersMatchScalar(t *testing.T) {
+	reg := region.UnitSquareKm()
+	sites := scratchSites(15, 11)
+	var sc, sb Scratch
+	self := sites[0]
+	polys := DominatingRegionScratch(self, sites, 2, reg.Pieces(), &sc)
+	refs := DominatingRegionBatch(self, sites, 2, reg.Pieces(), &sb)
+	wantD := MaxDistFrom(self.Pos, polys)
+	gotD := MaxDistFromRefs(self.Pos, &sb.Slab, refs)
+	if math.Float64bits(wantD) != math.Float64bits(gotD) {
+		t.Fatalf("max dist: scalar %v, batch %v", wantD, gotD)
+	}
+	buf := make([]geom.Point, 0, 64)
+	wantV := VerticesInto(buf[:0], polys)
+	gotV := VerticesOfRefsInto(make([]geom.Point, 0, 64), &sb.Slab, refs)
+	if !reflect.DeepEqual(wantV, gotV) {
+		t.Fatal("VerticesOfRefsInto differs from VerticesInto")
+	}
+}
+
+// TestBatchCoincidentPanicParity: generators inside the Bisector Eq tolerance
+// but outside the index tie-break band make the scalar walk panic; the batch
+// walk must reproduce it (and not panic any earlier than the walk reaches the
+// offending generator).
+func TestBatchCoincidentPanicParity(t *testing.T) {
+	reg := region.UnitSquareKm()
+	self := Site{ID: 0, Pos: geom.Pt(0.5, 0.5)}
+	near := Site{ID: 1, Pos: geom.Pt(0.5+4e-10, 0.5)} // within Eq, above coincidentTol
+	others := []Site{self, near, {ID: 2, Pos: geom.Pt(0.2, 0.8)}}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected coincident-generator panic", name)
+			}
+		}()
+		f()
+	}
+	var sc, sb Scratch
+	mustPanic("scalar", func() { DominatingRegionScratch(self, others, 1, reg.Pieces(), &sc) })
+	mustPanic("batch", func() { DominatingRegionBatch(self, others, 1, reg.Pieces(), &sb) })
+}
+
+// TestDominatingRegionBatchZeroAllocs: a warmed batch scratch computes
+// regions with zero heap allocations, like the scalar kernel.
+func TestDominatingRegionBatchZeroAllocs(t *testing.T) {
+	reg := region.UnitSquareKm()
+	sites := scratchSites(60, 3)
+	s := &Scratch{}
+	pieces := reg.Pieces()
+	for _, self := range sites {
+		DominatingRegionBatch(self, sites, 2, pieces, s)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, self := range sites {
+			DominatingRegionBatch(self, sites, 2, pieces, s)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warmed DominatingRegionBatch allocates %v/run over %d sites, want 0", allocs, len(sites))
+	}
+}
+
+// BenchmarkBatchKernelDominatingRegion compares the batch and scalar kernels
+// on the same workload: every site's dominating region over a uniform field.
+func BenchmarkBatchKernelDominatingRegion(b *testing.B) {
+	reg := region.UnitSquareKm()
+	pieces := reg.Pieces()
+	for _, n := range []int{100, 400} {
+		sites := scratchSites(n, 3)
+		b.Run(benchName("batch", n), func(b *testing.B) {
+			s := &Scratch{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, self := range sites {
+					DominatingRegionBatch(self, sites, 2, pieces, s)
+				}
+			}
+		})
+		b.Run(benchName("scalar", n), func(b *testing.B) {
+			s := &Scratch{}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, self := range sites {
+					DominatingRegionScratch(self, sites, 2, pieces, s)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchKernelClipToConvex compares the edge-major slab ring closure
+// against the scalar per-piece path.
+func BenchmarkBatchKernelClipToConvex(b *testing.B) {
+	reg := region.UnitSquareKm()
+	pieces := reg.Pieces()
+	sites := scratchSites(100, 5)
+	ring := geom.RegularPolygon(geom.Circle{Center: geom.Pt(0.5, 0.5), R: 0.3}, 48, 0.065)
+	b.Run("batch", func(b *testing.B) {
+		s := &Scratch{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, self := range sites {
+				refs := DominatingRegionBatch(self, sites, 2, pieces, s)
+				s.ClipToConvexSoA(refs, ring)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		s := &Scratch{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, self := range sites {
+				polys := DominatingRegionScratch(self, sites, 2, pieces, s)
+				s.ClipToConvex(polys, ring)
+			}
+		}
+	})
+}
+
+func benchName(kind string, n int) string {
+	switch n {
+	case 100:
+		return kind + "/n=100"
+	case 400:
+		return kind + "/n=400"
+	default:
+		return kind
+	}
+}

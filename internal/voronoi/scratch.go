@@ -18,6 +18,31 @@ type Scratch struct {
 	free []geom.Polygon // recycled polygon buffers for the clipping walk
 	out  []geom.Polygon // survivors of the current call (arena-owned)
 	out2 []geom.Polygon // ClipToConvex survivors (arena-owned)
+
+	// Batch (structure-of-arrays) kernel state — see batch.go. The relevant-
+	// neighbor list is split into a sorted key pair and unsorted per-entry
+	// storage: (relD2, relVal) are sorted by (distance², ID) — relVal packs
+	// the generator ID in its high 32 bits and the entry's append slot in
+	// the low 32, so one int64 comparison breaks distance ties and one int64
+	// swap carries everything the sort must move — while relHx/relHy/relHc/
+	// relHn stay in append (slot) order, reached through the packed slot.
+	// Those four hold a lazily filled memo of each generator's bisector
+	// half-plane (computed on the walk's first visit, reused across
+	// recursion branches): while relHc[slot] is NaN the memo is unset and
+	// (relHx, relHy) hold the generator's position; the first visit
+	// overwrites them with the bisector coefficients and |N|. Bisector
+	// offsets are never NaN for finite positions, so the sentinel is
+	// unambiguous. Polygon vertices live in Slab, survivors are refs into
+	// it.
+	Slab   geom.PolySlab  // vertex arena of the batch clipping walk
+	relD2  []float64      // squared distance to the query site (sorted)
+	relVal []int64        // generator ID << 32 | append slot (sorted with relD2)
+	relHx  []float64      // by slot: bisector normal X (position X while unset)
+	relHy  []float64      // by slot: bisector normal Y (position Y while unset)
+	relHc  []float64      // by slot: bisector offset C (NaN: memo unset)
+	relHn  []float64      // by slot: bisector normal magnitude |N|
+	refs   []geom.PolyRef // survivors of the current batch walk
+	refs2  []geom.PolyRef // ClipToConvexSoA survivors
 }
 
 // relSite pairs a generator with its precomputed squared distance to the

@@ -565,6 +565,44 @@ func (n *Network) NeighborsWithinBuf(i int, rho float64, buf []int) []int {
 	return out
 }
 
+// NeighborsWithinDistBuf is NeighborsWithinBuf fused with the squared
+// distances the filter already computed, for callers that re-sort by
+// distance anyway: results come back in deterministic grid-visit order, NOT
+// ascending ID order (the ID sort is pure waste for a caller imposing its
+// own total order). ids and d2s are parallel; both buffers are reused.
+func (n *Network) NeighborsWithinDistBuf(i int, rho float64, ids []int, d2s []float64) ([]int, []float64) {
+	n.rebuild()
+	p := n.pos[i]
+	rho2 := rho * rho
+	ids, d2s = ids[:0], d2s[:0]
+	g := n.idx
+	r := g.windowRadius(rho)
+	if (2*r+1)*(2*r+1) > len(n.pos) {
+		for j, q := range n.pos {
+			if d2 := q.Dist2(p); j != i && d2 < rho2 {
+				ids = append(ids, j)
+				d2s = append(d2s, d2)
+			}
+		}
+		return ids, d2s
+	}
+	cx, cy := g.cellCoords(p)
+	x0, x1 := max(cx-r, g.ox), min(cx+r, g.ox+g.nx-1)
+	y0, y1 := max(cy-r, g.oy), min(cy+r, g.oy+g.ny-1)
+	for y := y0; y <= y1; y++ {
+		row := (y - g.oy) * g.nx
+		for x := x0; x <= x1; x++ {
+			for _, j := range g.cells[row+x-g.ox] {
+				if d2 := n.pos[j].Dist2(p); int(j) != i && d2 < rho2 {
+					ids = append(ids, int(j))
+					d2s = append(d2s, d2)
+				}
+			}
+		}
+	}
+	return ids, d2s
+}
+
 // OneHop returns node i's one-hop neighbors: nodes strictly within the
 // transmission range γ.
 func (n *Network) OneHop(i int) []int { return n.NeighborsWithin(i, n.gamma) }
