@@ -43,7 +43,11 @@ func (e *Engine) batchOn() bool { return !e.cfg.DisableBatch }
 // down). The returned refs point into s.vor's slab and are valid until the
 // next batch region computation on s.
 func centralizedRegionSoA(net *wsn.Network, reg *region.Region, i, k int, startRho float64, s *Scratch) ([]geom.PolyRef, float64, float64) {
-	n := net.Len()
+	// SearchLen, not Len: a sharded local network reports the global
+	// deployment size here so the fallback radius — and with it the whole
+	// probe sequence and its floating-point evaluation order — matches the
+	// shared-memory engine bit for bit.
+	n := net.SearchLen()
 	pieces := reg.Pieces()
 	diag := reg.BBox().Diagonal()
 	ui := net.Position(i)
@@ -75,6 +79,7 @@ func centralizedRegionSoA(net *wsn.Network, reg *region.Region, i, k int, startR
 		refs := voronoi.DominatingRegionSoA(self, k, pieces, &s.vor)
 		rhat := voronoi.MaxDistFromRefs(ui, &s.vor.Slab, refs)
 		if 2*rhat <= rho || len(s.nbrs) == n-1 || rho > 4*diag {
+			s.searchRho = rho // pre-tightening: the radius actually read
 			// Tighten the returned radius toward the exactness threshold.
 			// The doubling search overshoots — its final ρ lands anywhere in
 			// [2R̂, 4R̂) — and since the return value seeds both the node's

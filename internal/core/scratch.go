@@ -22,6 +22,13 @@ type Scratch struct {
 	sites []voronoi.Site
 	verts []geom.Point
 	ring  []geom.Point // circle-sample / disk-clip ring (Localized mode)
+
+	// searchRho is the expanding search's final (pre-tightening) radius from
+	// the last centralized region computation: the widest ball the search
+	// actually read positions from. The sharded engine uses it as the read
+	// radius when deciding whether a locally computed outcome can be trusted
+	// (the tightened return value under-reports what was gathered).
+	searchRho float64
 }
 
 // NewScratch returns an empty workspace. Buffers grow on first use and are
@@ -66,7 +73,7 @@ func CentralizedDominatingRegionScratch(net *wsn.Network, reg *region.Region, i,
 // region's circumradius R̂ about u_i (computed as a by-product of the
 // exactness check).
 func centralizedRegionScratch(net *wsn.Network, reg *region.Region, i, k int, s *Scratch) ([]geom.Polygon, float64, float64) {
-	n := net.Len()
+	n := net.SearchLen() // global deployment size under sharding (see batch.go)
 	pieces := reg.Pieces()
 	diag := reg.BBox().Diagonal()
 	ui := net.Position(i)
@@ -83,6 +90,7 @@ func centralizedRegionScratch(net *wsn.Network, reg *region.Region, i, k int, s 
 		polys := voronoi.DominatingRegionScratch(self, s.sites, k, pieces, &s.vor)
 		rhat := voronoi.MaxDistFrom(ui, polys)
 		if 2*rhat <= rho || len(s.nbrs) == n-1 || rho > 4*diag {
+			s.searchRho = rho
 			return polys, rho, rhat
 		}
 		rho *= 2

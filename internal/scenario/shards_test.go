@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"laacad/internal/metrics"
+	"laacad/internal/snapshot"
+)
+
+// WithShards must route the run through the sharded engine, produce a
+// bitwise-identical Result, publish the halo-traffic gauges, and survive a
+// checkpoint/resume cycle across different shard counts.
+func TestWithShardsBitIdenticalAndMetered(t *testing.T) {
+	ref, err := Run(context.Background(), quickScenario(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg metrics.Registry
+	r, err := NewRunner(quickScenario(11), WithShards(3), WithMetrics(&reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ShardEngine(r); !ok {
+		t.Fatal("WithShards(3) did not build a sharded engine")
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatal("sharded result differs from shared-memory result")
+	}
+	snap := reg.Snapshot()
+	if snap["shard.shards"] != 3 {
+		t.Errorf("shard.shards = %d, want 3", snap["shard.shards"])
+	}
+	if snap["shard.halo_msgs"] <= 0 || snap["shard.halo_bytes"] <= 0 || snap["shard.exchanges"] <= 0 {
+		t.Errorf("halo gauges not live: msgs=%d bytes=%d exchanges=%d",
+			snap["shard.halo_msgs"], snap["shard.halo_bytes"], snap["shard.exchanges"])
+	}
+	sh, _ := ShardEngine(r)
+	if hs := sh.HaloStats(); snap["shard.halo_msgs"] != hs.Msgs {
+		t.Errorf("shard.halo_msgs = %d, want %d", snap["shard.halo_msgs"], hs.Msgs)
+	}
+}
+
+// A checkpoint written mid-run by the sharded engine resumes bit-identically
+// through ResumeRunner — under any shard count, including back onto the
+// shared-memory engine.
+func TestWithShardsCheckpointResume(t *testing.T) {
+	ref, err := Run(context.Background(), quickScenario(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One full sharded run, checkpointing every 4 rounds; the first
+	// checkpoint is the mid-run state the resume legs continue from.
+	var mid *snapshot.State
+	r, err := NewRunner(quickScenario(12), WithShards(2),
+		WithSnapshotEvery(4, func(st *snapshot.State) error {
+			if mid == nil {
+				mid = st
+			}
+			return nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, ref) {
+		t.Fatal("sharded run differs from shared-memory run")
+	}
+	if mid == nil {
+		t.Fatal("no mid-run checkpoint captured")
+	}
+	for _, resumeShards := range []int{0, 2, 4} {
+		st := mid
+		var opts []Option
+		if resumeShards > 0 {
+			opts = append(opts, WithShards(resumeShards))
+		}
+		rr, err := ResumeRunner(st, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rr.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("resume with %d shards: result differs from uninterrupted shared-memory run", resumeShards)
+		}
+	}
+}

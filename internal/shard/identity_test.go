@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"laacad/internal/core"
+	"laacad/internal/geom"
+	"laacad/internal/region"
+)
+
+func uniformStart(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+// requireIdentical asserts the sharded result is bit-identical to the
+// shared-memory engine's: positions, radii, trace, message totals, rounds,
+// convergence and (when kept) regions.
+func requireIdentical(t *testing.T, want, got *core.Result) {
+	t.Helper()
+	if got.Rounds != want.Rounds {
+		t.Fatalf("rounds: got %d want %d", got.Rounds, want.Rounds)
+	}
+	if got.Converged != want.Converged {
+		t.Fatalf("converged: got %v want %v", got.Converged, want.Converged)
+	}
+	if len(got.Positions) != len(want.Positions) {
+		t.Fatalf("positions length: got %d want %d", len(got.Positions), len(want.Positions))
+	}
+	for i := range want.Positions {
+		if got.Positions[i] != want.Positions[i] {
+			t.Fatalf("node %d position: got %v want %v", i, got.Positions[i], want.Positions[i])
+		}
+	}
+	for i := range want.Radii {
+		if got.Radii[i] != want.Radii[i] {
+			t.Fatalf("node %d radius: got %v want %v", i, got.Radii[i], want.Radii[i])
+		}
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("trace length: got %d want %d", len(got.Trace), len(want.Trace))
+	}
+	for i := range want.Trace {
+		if got.Trace[i] != want.Trace[i] {
+			t.Fatalf("trace[%d]: got %+v want %+v", i, got.Trace[i], want.Trace[i])
+		}
+	}
+	if got.Messages != want.Messages {
+		t.Fatalf("messages: got %d want %d", got.Messages, want.Messages)
+	}
+	if (got.Regions == nil) != (want.Regions == nil) {
+		t.Fatalf("regions presence: got %v want %v", got.Regions != nil, want.Regions != nil)
+	}
+	for i := range want.Regions {
+		if len(got.Regions[i]) != len(want.Regions[i]) {
+			t.Fatalf("node %d: region count got %d want %d", i, len(got.Regions[i]), len(want.Regions[i]))
+		}
+		for j := range want.Regions[i] {
+			a, b := got.Regions[i][j], want.Regions[i][j]
+			if len(a) != len(b) {
+				t.Fatalf("node %d region %d: vertex count got %d want %d", i, j, len(a), len(b))
+			}
+			for v := range b {
+				if a[v] != b[v] {
+					t.Fatalf("node %d region %d vertex %d: got %v want %v", i, j, v, a[v], b[v])
+				}
+			}
+		}
+	}
+}
+
+// identityCase is one cell of the bit-identity matrix.
+type identityCase struct {
+	name string
+	cfg  core.Config
+	n    int
+	seed int64
+}
+
+func identityCases() []identityCase {
+	sync := core.DefaultConfig(2)
+	sync.Epsilon = 1e-3
+	sync.MaxRounds = 60
+
+	seq := sync
+	seq.Order = core.Sequential
+
+	loc := core.DefaultConfig(2)
+	loc.Mode = core.Localized
+	loc.Gamma = 0.25
+	loc.Epsilon = 1e-3
+	loc.MaxRounds = 60
+
+	locSeq := loc
+	locSeq.Order = core.Sequential
+
+	short := sync
+	short.MaxRounds = 8 // unconverged: exercises the finalize recompute path
+
+	keep := sync
+	keep.KeepRegions = true
+
+	lossy := loc
+	lossy.LossRate = 0.3
+	lossy.MaxRounds = 25
+
+	return []identityCase{
+		{"sync-centralized", sync, 28, 42},
+		{"seq-centralized", seq, 28, 42},
+		{"localized", loc, 28, 42},
+		{"localized-seq", locSeq, 24, 7},
+		{"sync-unconverged", short, 28, 42},
+		{"sync-keepregions", keep, 20, 9},
+		{"localized-lossy", lossy, 24, 11},
+	}
+}
+
+// TestShardBitIdentityMatrix is the tentpole acceptance test: for every case
+// × shard count × worker count the sharded engine must reproduce the
+// shared-memory engine's result bit for bit.
+func TestShardBitIdentityMatrix(t *testing.T) {
+	reg := region.UnitSquareKm()
+	for _, tc := range identityCases() {
+		start := uniformStart(tc.n, tc.seed)
+		ref, err := core.New(reg, start, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, workers := range []int{1, 3} {
+				name := fmt.Sprintf("%s/s%d/w%d", tc.name, shards, workers)
+				t.Run(name, func(t *testing.T) {
+					cfg := tc.cfg
+					cfg.Workers = workers
+					eng, err := New(reg, start, cfg, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := eng.Run(context.Background())
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireIdentical(t, want, got)
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package shard implements stage 1 of the sharded LAACAD engine (ROADMAP
+// item 1): the deployment region is partitioned into vertical cell stripes,
+// each owned by a shard goroutine holding its own wsn.Network sub-index and
+// cache state; per round the shards exchange a ρ-halo of border positions
+// over explicit typed channels. The sharded engine is bit-identical to the
+// shared-memory core.Engine — Positions, Trace, Radii and Result.Messages —
+// for every shard count, worker count and update order, because every
+// per-node computation routes through the same core kernels over a local
+// window proven complete for the node's read ball (see worker.go for the
+// trust rule).
+package shard
+
+import (
+	"math"
+
+	"laacad/internal/region"
+)
+
+// Partition divides the region's bounding-box x-range into s equal-width
+// vertical stripes. Stripe i owns the half-open interval
+// [Cut(i), Cut(i+1)) — except the last stripe, which also owns its upper
+// edge — so every x maps to exactly one stripe. The mapping is a pure
+// function of x, which is what makes ownership reproducible across shards,
+// rounds and processes without coordination.
+type Partition struct {
+	s          int
+	xmin, xmax float64
+	width      float64
+}
+
+// NewPartition builds an s-stripe partition over reg's bounding box. s < 1
+// is clamped to 1; a degenerate (zero-width) region collapses to one stripe.
+func NewPartition(reg *region.Region, s int) Partition {
+	if s < 1 {
+		s = 1
+	}
+	b := reg.BBox()
+	w := (b.Max.X - b.Min.X) / float64(s)
+	if !(w > 0) {
+		s, w = 1, b.Max.X-b.Min.X
+	}
+	return Partition{s: s, xmin: b.Min.X, xmax: b.Max.X, width: w}
+}
+
+// Shards returns the stripe count.
+func (p Partition) Shards() int { return p.s }
+
+// XRange returns the partitioned x-interval (the region bounding box's
+// x-extent). Node positions are always clamped inside the region, so every
+// node's x lies within it.
+func (p Partition) XRange() (xmin, xmax float64) { return p.xmin, p.xmax }
+
+// Shard maps an x-coordinate to its owning stripe, clamping coordinates
+// outside the partitioned interval to the nearest edge stripe.
+func (p Partition) Shard(x float64) int {
+	if p.s <= 1 {
+		return 0
+	}
+	k := int(math.Floor((x - p.xmin) / p.width))
+	if k < 0 {
+		return 0
+	}
+	if k >= p.s {
+		return p.s - 1
+	}
+	return k
+}
+
+// Cut returns the i-th stripe boundary, i in [0, Shards()]: Cut(0) is the
+// region's left edge, Cut(Shards()) the right.
+func (p Partition) Cut(i int) float64 {
+	if i <= 0 {
+		return p.xmin
+	}
+	if i >= p.s {
+		return p.xmax
+	}
+	return p.xmin + float64(i)*p.width
+}
+
+// Bounds returns stripe s's x-interval [Cut(s), Cut(s+1)].
+func (p Partition) Bounds(s int) (lo, hi float64) { return p.Cut(s), p.Cut(s + 1) }
+
+// Overlapping returns the inclusive range [first, last] of stripes whose
+// interval intersects the band [lo, hi] — the routing primitive for halo
+// band requests (a ρ wider than one stripe spans several neighbors).
+func (p Partition) Overlapping(lo, hi float64) (first, last int) {
+	return p.Shard(lo), p.Shard(hi)
+}
+
+// Assignment tracks node→shard ownership as positions churn: the live
+// ownership map the orchestrator routes turns and migrations with. Because
+// ownership is a pure function of x, an assignment maintained incrementally
+// through AddNode/RemoveNode/Move is always identical to one rebuilt from
+// scratch over the current positions (the property test's invariant).
+type Assignment struct {
+	part  Partition
+	owner []int
+}
+
+// NewAssignment builds the ownership map for the given x-coordinates.
+func NewAssignment(p Partition, xs []float64) *Assignment {
+	a := &Assignment{part: p, owner: make([]int, len(xs))}
+	for i, x := range xs {
+		a.owner[i] = p.Shard(x)
+	}
+	return a
+}
+
+// Partition returns the underlying stripe geometry.
+func (a *Assignment) Partition() Partition { return a.part }
+
+// Len returns the number of tracked nodes.
+func (a *Assignment) Len() int { return len(a.owner) }
+
+// Owner returns node i's owning shard.
+func (a *Assignment) Owner(i int) int { return a.owner[i] }
+
+// Move reassigns node i after its x-coordinate changed and reports its
+// (possibly unchanged) owner.
+func (a *Assignment) Move(i int, x float64) int {
+	a.owner[i] = a.part.Shard(x)
+	return a.owner[i]
+}
+
+// AddNode appends a node at x and returns its ID (the next node number,
+// matching wsn.Network.AddNode).
+func (a *Assignment) AddNode(x float64) int {
+	a.owner = append(a.owner, a.part.Shard(x))
+	return len(a.owner) - 1
+}
+
+// RemoveNode deletes node i, renumbering every node above it downward —
+// the same renumbering wsn.Network.RemoveNode applies.
+func (a *Assignment) RemoveNode(i int) {
+	a.owner = append(a.owner[:i], a.owner[i+1:]...)
+}
